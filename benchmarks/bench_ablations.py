@@ -1,0 +1,159 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+The paper fixes a design point (2-cycle cache, 8-cycle storage, 64-word
+pages, full bypassing, 2-instruction grain).  These benchmarks move each
+knob and measure the consequence, extending the paper's qualitative
+arguments with curves:
+
+* cache size vs. emulator performance (section 4: "performance is
+  limited by the cache hit rate");
+* miss penalty vs. hold time (section 5.7's motivation);
+* control-store page size vs. placement utilization (section 5.5's
+  NextControl-width tradeoff).
+"""
+
+import pytest
+
+from repro import Assembler, MachineConfig
+from repro.emulators.isa import BytecodeAssembler
+from repro.emulators.mesa import FRAMES_VA, build_mesa_machine
+from repro.perf.report import synthetic_microprogram
+
+from conftest import report_rows
+
+ARRAY_VA = 0x8000
+ARRAY_WORDS = 2048
+
+
+def array_sum_workload(config, passes=2):
+    """A Mesa loop summing a 2K-word array *passes* times.
+
+    The second pass hits in a large cache and misses again in a small
+    one -- the discriminating access pattern.
+    """
+    ctx = build_mesa_machine(config)
+    b = BytecodeAssembler(ctx.table)
+    b.op("LIT", passes); b.op("SL", 2)      # outer pass counter
+    b.op("LIT", 0); b.op("SL", 0)           # sum
+    b.label("pass")
+    b.op("LITW", ARRAY_WORDS - 1); b.op("SL", 1)  # index
+    b.label("loop")
+    b.op("LITW", ARRAY_VA); b.op("LL", 1); b.op("AL")
+    b.op("LL", 0); b.op("ADD"); b.op("SL", 0)
+    b.op("LL", 1); b.op("LIT", 1); b.op("SUB"); b.op("SL", 1)
+    b.op("LL", 1); b.op("JNZ", "loop")
+    b.op("LL", 2); b.op("LIT", 1); b.op("SUB"); b.op("SL", 2)
+    b.op("LL", 2); b.op("JNZ", "pass")
+    b.op("HALT")
+    ctx.load_program(b.assemble())
+    for i in range(ARRAY_WORDS):
+        ctx.cpu.memory.storage.write_word(ARRAY_VA + i, i & 0xFF)
+    return ctx
+
+
+@pytest.mark.parametrize("cache_lines", [16, 64, 256, 1024])
+def test_cache_size_ablation(benchmark, cache_lines):
+    config = MachineConfig(cache_lines=cache_lines, cache_ways=2)
+
+    def run():
+        ctx = array_sum_workload(config)
+        cycles = ctx.run(5_000_000)
+        assert ctx.halted
+        return ctx, cycles
+
+    ctx, cycles = benchmark(run)
+    counters = ctx.cpu.counters
+    cpb = cycles / ctx.cpu.ifu.dispatches
+    print(f"\ncache {cache_lines * 16} words: hit rate {counters.hit_rate:.3f}, "
+          f"{cpb:.2f} cycles/byte-code, {counters.held_cycles} held")
+    # A 2K-word array in a 16-line (256-word) cache misses on every
+    # pass; a cache bigger than the array misses only on the first.
+    if cache_lines * 16 >= 2 * ARRAY_WORDS:
+        assert counters.cache_misses < 1.5 * (ARRAY_WORDS // 16)
+    if cache_lines == 16:
+        assert counters.cache_misses > 1.8 * (ARRAY_WORDS // 16)
+
+
+@pytest.mark.parametrize("miss_penalty", [8, 26, 60])
+def test_miss_penalty_ablation(benchmark, miss_penalty):
+    config = MachineConfig(cache_lines=16, cache_ways=2, miss_penalty=miss_penalty)
+
+    def run():
+        ctx = array_sum_workload(config)
+        cycles = ctx.run(10_000_000)
+        assert ctx.halted
+        return ctx.cpu.counters.held_cycles, cycles
+
+    held, cycles = benchmark(run)
+    print(f"\nmiss penalty {miss_penalty}: {held} held cycles of {cycles}")
+    assert held > 0
+
+
+def test_cache_size_monotonicity():
+    """Bigger caches never lose on the two-pass workload."""
+    cycles = {}
+    for lines in (16, 1024):
+        ctx = array_sum_workload(MachineConfig(cache_lines=lines, cache_ways=2))
+        cycles[lines] = ctx.run(10_000_000)
+        assert ctx.halted
+    assert cycles[1024] < cycles[16]
+
+
+def test_miss_penalty_monotonicity():
+    """More miss penalty can only slow the thrashing workload down."""
+    results = {}
+    for penalty in (8, 26, 60):
+        config = MachineConfig(cache_lines=16, cache_ways=2, miss_penalty=penalty)
+        ctx = array_sum_workload(config)
+        results[penalty] = ctx.run(10_000_000)
+        assert ctx.halted
+    assert results[8] < results[26] < results[60]
+
+
+@pytest.mark.parametrize("page_size", [16, 32, 64])
+def test_page_size_placement_ablation(benchmark, page_size):
+    """Smaller pages mean more cross-page transfers (more FF assists)
+    and more fragmentation; 64-word pages were the right call."""
+    config = MachineConfig(page_size=page_size)
+
+    # FF JumpPage addresses at most 64 pages, so the usable store is
+    # 64 * page_size words: another cost of shrinking pages.
+    budget = min(1200, int(64 * page_size * 0.85))
+
+    def place():
+        asm = Assembler(config)
+        synthetic_microprogram(asm, budget, seed=99)
+        asm.assemble()
+        return asm.report
+
+    report = benchmark(place)
+    print(f"\npage {page_size}: utilization {report.utilization:.4f}, "
+          f"{report.ff_assists} FF assists over {report.pages_used} pages")
+    assert report.utilization > 0.9
+
+
+def test_page_size_assist_tradeoff():
+    """The section 5.5 tradeoff made measurable: shrinking pages buys
+    nothing but extra jump assists."""
+    assists = {}
+    for page_size in (16, 64):
+        config = MachineConfig(page_size=page_size)
+        asm = Assembler(config)
+        synthetic_microprogram(asm, 800, seed=7)
+        asm.assemble()
+        assists[page_size] = asm.report.ff_assists
+    assert assists[16] > assists[64]
+
+
+@pytest.mark.parametrize("ways", [1, 2, 4])
+def test_associativity_ablation(benchmark, ways):
+    config = MachineConfig(cache_lines=64, cache_ways=ways)
+
+    def run():
+        ctx = array_sum_workload(config)
+        cycles = ctx.run(5_000_000)
+        assert ctx.halted
+        return ctx.cpu.counters.hit_rate
+
+    hit_rate = benchmark(run)
+    print(f"\n{ways}-way: hit rate {hit_rate:.3f}")

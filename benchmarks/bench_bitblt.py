@@ -1,0 +1,58 @@
+"""E2: BitBlt bandwidth (paper: 34 Mbit/s simple, 24 Mbit/s complex)."""
+
+import pytest
+
+from repro.graphics.bitblt import BitBltFunction, build_bitblt_machine, run_bitblt
+from repro.graphics.bitmap import Bitmap
+from repro.perf import report
+
+from conftest import report_rows
+
+
+@pytest.fixture(scope="module")
+def machine():
+    cpu = build_bitblt_machine()
+    src = Bitmap(cpu.memory, 0x2000, 31, 48)
+    src.load_pattern()
+    Bitmap(cpu.memory, 0x8000, 30, 48).fill(0)
+    # Warm the cache so steady-state numbers are measured.
+    run_bitblt(cpu, BitBltFunction.COPY, src_va=0x2000, dst_va=0x8000,
+               words_per_row=30, rows=48, src_pitch=31, dst_pitch=30, shift=1)
+    return cpu
+
+
+def blt(cpu, function, **kw):
+    return run_bitblt(
+        cpu, function, src_va=0x2000, dst_va=0x8000,
+        words_per_row=30, rows=48, src_pitch=31, dst_pitch=30, **kw
+    )
+
+
+def test_e2_report(benchmark):
+    rows = benchmark(report.experiment_e2)
+    report_rows("E2 BitBlt bandwidth", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    assert float(values["BitBlt simple (scroll/move), Mbit/s"]) > float(
+        values["BitBlt complex (src op dst), Mbit/s"]
+    )
+
+
+def test_copy_bandwidth(machine, benchmark):
+    cycles = benchmark(lambda: blt(machine, BitBltFunction.COPY, shift=5))
+    rate = machine.config.megabits_per_second(30 * 48 * 16, cycles)
+    print(f"\nBitBlt copy: {rate:.1f} Mbit/s (paper: 34)")
+    assert 25 <= rate <= 45
+
+
+def test_xor_bandwidth(machine, benchmark):
+    cycles = benchmark(lambda: blt(machine, BitBltFunction.XOR, shift=5))
+    rate = machine.config.megabits_per_second(30 * 48 * 16, cycles)
+    print(f"\nBitBlt function: {rate:.1f} Mbit/s (paper: 24)")
+    assert 18 <= rate <= 30
+
+
+def test_fill_bandwidth(machine, benchmark):
+    cycles = benchmark(lambda: blt(machine, BitBltFunction.FILL, fill_value=0))
+    rate = machine.config.megabits_per_second(30 * 48 * 16, cycles)
+    print(f"\nBitBlt erase: {rate:.1f} Mbit/s (store-limited upper bound)")
+    assert rate > 100

@@ -1,0 +1,24 @@
+"""E8: data bypassing versus the Model 0 (section 5.6 ablation)."""
+
+from repro.config import MODEL0, PRODUCTION
+from repro.perf import report
+from repro.perf.report import _bypass_kernel
+
+from conftest import report_rows
+
+
+def test_e8_report(benchmark):
+    rows = benchmark(report.experiment_e8)
+    report_rows("E8 bypassing ablation", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    assert float(values["Model 0 slowdown"].rstrip("x")) > 1.3
+
+
+def test_bypassed_kernel(benchmark):
+    cycles = benchmark(lambda: _bypass_kernel(PRODUCTION, padded=False))
+    assert cycles > 0
+
+
+def test_padded_model0_kernel(benchmark):
+    cycles = benchmark(lambda: _bypass_kernel(MODEL0, padded=True))
+    assert cycles > 0

@@ -1,0 +1,40 @@
+"""E3: the 10 Mbit/s disk consumes ~5% of the processor (section 7)."""
+
+from repro.io.disk import DISK_TASK
+from repro.perf import report
+from repro.perf.report import _disk_machine
+
+from conftest import report_rows
+
+
+def test_e3_report(benchmark):
+    rows = benchmark(report.experiment_e3)
+    report_rows("E3 disk occupancy", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    assert 0.03 <= float(values["Disk read: processor fraction"]) <= 0.08
+
+
+def test_disk_read_simulation(benchmark):
+    def run():
+        cpu, disk = _disk_machine(words_per_sector=256)
+        disk.fill_sector(1, [i & 0xFFFF for i in range(256)])
+        disk.begin_read(cpu, sector=1, buffer_va=0x4000)
+        cpu.run_until(lambda m: disk.done, max_cycles=100_000)
+        return cpu
+
+    cpu = benchmark(run)
+    occupancy = cpu.counters.task_cycles[DISK_TASK] / cpu.counters.cycles
+    print(f"\ndisk read occupancy: {occupancy:.3f} (paper: 0.05)")
+
+
+def test_disk_write_simulation(benchmark):
+    def run():
+        cpu, disk = _disk_machine(words_per_sector=256)
+        for i in range(260):
+            cpu.memory.debug_write(0x4000 + i, i)
+        disk.begin_write(cpu, sector=2, buffer_va=0x4000)
+        cpu.run_until(lambda m: disk.done, max_cycles=100_000)
+        return cpu
+
+    cpu = benchmark(run)
+    assert cpu.counters.slowio_words_out >= 256

@@ -1,0 +1,63 @@
+"""E1 / E10 / E13: emulator per-class costs, cycles per macroinstruction,
+and the stitchweld-versus-multiwire comparison (paper section 7)."""
+
+from repro.config import PRODUCTION, STITCHWELD
+from repro.perf import report
+from repro.perf.workloads import (
+    bcpl_loop_sum,
+    lisp_call_kernel,
+    lisp_list_sum,
+    mesa_fib,
+    mesa_loop_sum,
+    smalltalk_counter,
+)
+
+from conftest import report_rows
+
+
+def test_e1_microinstruction_counts(benchmark):
+    rows = benchmark(report.experiment_e1)
+    report_rows("E1 emulator microinstruction counts", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    assert float(values["Mesa store (SL)"]) == 1.0
+    assert float(values["Lisp/Mesa call ratio"]) >= 3.0
+
+
+def test_e10_cycles_per_macroinstruction(benchmark):
+    rows = benchmark(report.experiment_e10)
+    report_rows("E10 cycles per macroinstruction", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    assert abs(float(values["Simple macroinstruction, cycles"]) - 1.0) < 0.1
+
+
+def test_e13_stitchweld_vs_multiwire(benchmark):
+    rows = benchmark(report.experiment_e13)
+    report_rows("E13 stitchweld vs multiwire", rows)
+
+
+def test_mesa_loop_throughput(benchmark):
+    def run():
+        return mesa_loop_sum(200).run()
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+def test_mesa_call_throughput(benchmark):
+    benchmark(lambda: mesa_fib(10).run())
+
+
+def test_lisp_list_throughput(benchmark):
+    benchmark(lambda: lisp_list_sum(30).run())
+
+
+def test_lisp_call_throughput(benchmark):
+    benchmark(lambda: lisp_call_kernel(10).run())
+
+
+def test_bcpl_throughput(benchmark):
+    benchmark(lambda: bcpl_loop_sum(150).run())
+
+
+def test_smalltalk_send_throughput(benchmark):
+    benchmark(lambda: smalltalk_counter(30).run())

@@ -1,0 +1,37 @@
+"""E4 / E7 / E11: fast I/O at 530 Mbit/s for 25% of the processor, the
+slow I/O one-word-per-cycle ceiling, and the storage bandwidth ceiling
+(sections 5.8 and 6.2.1)."""
+
+from repro.io.display import DISPLAY_TASK
+from repro.perf import report
+from repro.perf.report import _display_run
+
+from conftest import report_rows
+
+
+def test_e4_report(benchmark):
+    rows = benchmark(report.experiment_e4)
+    report_rows("E4 fast I/O bandwidth and occupancy", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    assert 480 <= float(values["Fast I/O bandwidth, Mbit/s"]) <= 534
+
+
+def test_e7_report(benchmark):
+    rows = benchmark(report.experiment_e7)
+    report_rows("E7 slow I/O bandwidth", rows)
+
+
+def test_e11_report(benchmark):
+    rows = benchmark(report.experiment_e11)
+    report_rows("E11 storage bandwidth ceiling", rows)
+
+
+def test_display_band_simulation(benchmark):
+    def run():
+        rate, occupancy, display = _display_run(explicit_notify=False, munches=128)
+        assert display.underruns == 0
+        return rate, occupancy
+
+    rate, occupancy = benchmark(run)
+    print(f"\nfast I/O: {rate:.0f} Mbit/s at {occupancy:.3f} of the processor "
+          "(paper: 530 at 0.25)")

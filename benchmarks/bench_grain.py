@@ -1,0 +1,21 @@
+"""E5 / E12: the two-cycle task grain versus the rejected three-cycle
+design, and the task-pipeline wakeup timing (section 6.2.1)."""
+
+from repro.perf import report
+
+from conftest import report_rows
+
+
+def test_e5_grain_comparison(benchmark):
+    rows = benchmark(report.experiment_e5)
+    report_rows("E5 task grain 2 vs 3", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    two = float(values["Processor fraction, 2-instruction grain"])
+    three = float(values["Processor fraction, 3-instruction grain"])
+    # Paper: 25% vs 37.5% -- the measured ratio must preserve that.
+    assert 1.35 <= three / two <= 1.65
+
+
+def test_e12_pipeline_timing(benchmark):
+    rows = benchmark(report.experiment_e12)
+    report_rows("E12 task pipeline timing", rows)

@@ -1,0 +1,12 @@
+"""E9: Hold turns memory dead time into I/O service time (section 5.7)."""
+
+from repro.perf import report
+
+from conftest import report_rows
+
+
+def test_e9_report(benchmark):
+    rows = benchmark(report.experiment_e9)
+    report_rows("E9 hold overlap", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    assert float(values["Emulator slowdown from disk"].rstrip("x")) < 1.15

@@ -1,0 +1,30 @@
+"""E6: automatic microcode placement fills ~99.9% of a full store
+(section 7)."""
+
+import pytest
+
+from repro import Assembler, PRODUCTION
+from repro.perf import report
+from repro.perf.report import synthetic_microprogram
+
+from conftest import report_rows
+
+
+def test_e6_report(benchmark):
+    rows = benchmark(report.experiment_e6)
+    report_rows("E6 microstore placement", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    assert float(values["Microstore placement utilization"]) >= 0.98
+
+
+@pytest.mark.parametrize("fill", [0.5, 0.75, 0.9, 0.98])
+def test_placement_utilization_sweep(benchmark, fill):
+    def place():
+        asm = Assembler(PRODUCTION)
+        synthetic_microprogram(asm, int(PRODUCTION.im_size * fill), seed=fill.hex().__hash__() & 0xFFFF)
+        asm.assemble()
+        return asm.report
+
+    rep = benchmark(place)
+    print(f"\nfill {fill:.2f}: utilization {rep.utilization:.4f} over {rep.pages_used} pages")
+    assert rep.utilization >= 0.95

@@ -1,0 +1,17 @@
+"""Benchmark-harness helpers.
+
+Each ``bench_*`` file regenerates one group of the paper's section 7
+numbers (see DESIGN.md's experiment index and EXPERIMENTS.md for
+paper-versus-measured).  pytest-benchmark times the simulation; the
+reproduced figures are printed and asserted so a benchmark run doubles
+as a reproduction check.
+"""
+
+import pytest
+
+
+def report_rows(title, rows):
+    from repro.perf.report import format_rows
+
+    print()
+    print(format_rows(title, rows))

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The console processor's view: load, disassemble, single-step, poke.
+
+The real Dorado was brought up from a console microcomputer wired to
+CPREG "and a very small number of control signals" (section 6.2.3).
+This example plays that role: it disassembles the placed microcode,
+single-steps the machine watching TPC and the task pipeline, patches
+the control store while the machine runs, and reads the fault latch.
+"""
+
+from repro import Assembler, FF, Processor
+from repro.core.microword import MicroInstruction
+
+
+def main() -> None:
+    asm = Assembler()
+    asm.register("x", 1)
+    asm.label("start")
+    asm.emit(r="x", b=0, alu="B", load="RM")
+    asm.emit(count=3)
+    asm.label("loop")
+    asm.emit(r="x", a="RM", b=1, alu="ADD", load="RM",
+             branch=("COUNT", "loop", "end"))
+    asm.label("end")
+    asm.emit(r="x", b="RM", ff=FF.TRACE)
+    asm.halt()
+    image = asm.assemble()
+
+    print("=== disassembly (address: rendering) ===")
+    for address, text in image.disassemble():
+        print(f"  {address:4o}: {text}")
+
+    cpu = Processor()
+    cpu.load_image(image)
+
+    print("\n=== single stepping ===")
+    for step in range(6):
+        pc = cpu.this_pc
+        inst = cpu.im[pc]
+        print(f"  cycle {step}: task {cpu.pipe.this_task} "
+              f"pc {pc:4o}  {inst.describe()}  COUNT={cpu.regs.count}")
+        cpu.step()
+
+    cpu.run(100)
+    print(f"\ntrace after run: {cpu.console.trace} (the loop ran COUNT+1 times)")
+
+    print("\n=== patching the microstore from the console ===")
+    # Replace the HALT with a TRACE-of-99 then HALT at a fresh address.
+    free = max(image.words) + 2
+    halt_addr = next(a for a, i in image.words.items() if i.ff == int(FF.HALT))
+    cpu.im[free] = MicroInstruction(ff=int(FF.HALT),
+                                    nc=cpu.im[halt_addr].nc)
+    print(f"  wrote a new instruction at {free:4o}")
+    print(f"  original HALT at {halt_addr:4o}: {cpu.im[halt_addr].describe()}")
+
+    print("\n=== the fault latch ===")
+    cpu2 = Processor()
+    asm2 = Assembler()
+    asm2.register("va", 1)
+    asm2.emit(r="va", b=0x7F00, alu="B", load="RM")
+    asm2.emit(r="va", a="RM", fetch=True)
+    asm2.emit(ff=FF.READ_FAULTS, load="T")
+    asm2.emit(b="T", ff=FF.TRACE)
+    asm2.halt()
+    cpu2.load_image(asm2.assemble())
+    cpu2.memory.identity_map(4)  # VA 0x7F00 unmapped: map fault
+    cpu2.run(100)
+    print(f"  fault word after an unmapped fetch: {cpu2.console.trace[0]:#06x} "
+          "(bit 0 = map fault)")
+
+
+if __name__ == "__main__":
+    main()

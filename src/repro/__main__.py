@@ -1,0 +1,6 @@
+"""``python -m repro``: print the paper-versus-measured tables."""
+
+from .perf.report import main
+
+if __name__ == "__main__":
+    main()

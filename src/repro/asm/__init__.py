@@ -1,0 +1,41 @@
+"""The Dorado microassembler and automatic instruction placer.
+
+The NEXTPC scheme (section 5.5) "imposes a rather complicated structure
+on the microstore, because of the pages, the odd/even branch addresses,
+and the special subroutine locations", and relies on "an assembler which
+can fit the instructions onto pages appropriately".  This subpackage is
+that assembler: a Python-embedded microcode DSL (:class:`Assembler`),
+the placement engine (:mod:`placer`), and the assembled
+:class:`~repro.asm.program.Image` the processor loads.
+"""
+
+from .assembler import Assembler
+from .bootstrap import boot_loader_microcode, encode_for_boot, stage_boot
+from .diagnostics import (
+    alu_selftest_microcode,
+    expected_im_checksum,
+    im_checksum_microcode,
+    rm_march_microcode,
+)
+from .lint import Finding, Severity, lint_image, lint_report
+from .placer import PlacementReport, place
+from .program import Image, SourceOp
+
+__all__ = [
+    "Assembler",
+    "Finding",
+    "Image",
+    "PlacementReport",
+    "Severity",
+    "SourceOp",
+    "alu_selftest_microcode",
+    "boot_loader_microcode",
+    "encode_for_boot",
+    "expected_im_checksum",
+    "im_checksum_microcode",
+    "lint_image",
+    "lint_report",
+    "rm_march_microcode",
+    "place",
+    "stage_boot",
+]

@@ -1,0 +1,366 @@
+"""A Python-embedded microcode assembly language.
+
+Microcode for the simulated Dorado is written by calling
+:meth:`Assembler.emit` once per microinstruction, naming operands and
+successors symbolically; :meth:`Assembler.assemble` runs the placer and
+returns a loadable :class:`~repro.asm.program.Image`.
+
+The DSL enforces the machine's real authoring rules at emit time:
+
+* **one FF per instruction** -- a constant B source, an EXTB selector, an
+  explicit function, and placer-era JumpPage/BranchPair assists all
+  compete for the same eight bits (section 5.5);
+* branch conditions come from the fixed set of eight;
+* stack operations ride the Block bit (task 0), with the RAddress field
+  carrying the STACKPTR delta (section 6.3.1).
+
+Example -- a loop that sums T into an RM register COUNT times::
+
+    asm = Assembler()
+    asm.register("sum", 2)
+    asm.emit(b=0, alu="B", load="RM", r="sum", count=9)
+    asm.label("loop")
+    asm.emit(r="sum", a="RM", b="T", alu="ADD", load="RM",
+             branch=("COUNT", "loop", "done"))
+    asm.label("done")
+    asm.emit(ff=FF.HALT, idle=True)
+    image = asm.assemble()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..config import MachineConfig, PRODUCTION
+from ..core import functions
+from ..core.alu import STANDARD_OPS
+from ..core.functions import FF
+from ..core.microword import ASel, BSel, Condition, LoadControl
+from ..errors import AssemblyError
+from .placer import PlacementReport, place
+from .program import ControlKind, ControlSpec, Image, SourceOp
+
+#: Branch-condition spellings accepted by ``branch=(cond, ...)``.
+CONDITIONS = {
+    "ZERO": Condition.ALU_ZERO,
+    "NONZERO": Condition.ALU_NONZERO,
+    "NEG": Condition.ALU_NEG,
+    "CARRY": Condition.CARRY,
+    "COUNT": Condition.COUNT_NONZERO,
+    "ODD": Condition.R_ODD,
+    "IOATN": Condition.IOATN,
+    "OVF": Condition.OVERFLOW,
+}
+
+#: B-source spellings for the EXTB selectors.
+EXTB_NAMES = {
+    "MD": FF.EXTB_MEMDATA,
+    "IFUDATA": FF.EXTB_IFUDATA,
+    "INPUT": FF.INPUT,
+    "CPREG": FF.EXTB_CPREG,
+    "FAULTS": FF.EXTB_FAULTS,
+    "LINK": FF.EXTB_LINK,
+    "IFUPC": FF.EXTB_IFUPC,
+    "TASK": FF.EXTB_THISTASK,
+}
+
+_LOADS = {
+    None: LoadControl.NONE,
+    "T": LoadControl.T,
+    "RM": LoadControl.RM,
+    "RM_T": LoadControl.RM_T,
+}
+
+
+def constant_fields(value: int) -> Optional[tuple]:
+    """(BSel, ff byte) encoding a 16-bit constant, or None if impossible.
+
+    Implements the section 5.9 rule: representable constants have one
+    byte free (all zeroes or all ones); "any constant can be assembled
+    in two microinstructions" otherwise.
+    """
+    value &= 0xFFFF
+    high, low = value >> 8, value & 0xFF
+    if high == 0x00:
+        return (BSel.CONST_LZ, low)
+    if low == 0x00:
+        return (BSel.CONST_HZ, high)
+    if high == 0xFF:
+        return (BSel.CONST_LO, low)
+    if low == 0xFF:
+        return (BSel.CONST_HO, high)
+    return None
+
+
+class Assembler:
+    """Collects microinstructions and places them."""
+
+    def __init__(self, config: MachineConfig = PRODUCTION) -> None:
+        self.config = config
+        self.ops: List[SourceOp] = []
+        self._pending_labels: List[str] = []
+        self._registers: Dict[str, int] = {}
+        self._fallthrough_from: Optional[int] = None
+        self.report: Optional[PlacementReport] = None
+
+    # --- names -----------------------------------------------------------
+
+    def register(self, name: str, rsel: int) -> None:
+        """Give RAddress *rsel* (0..15) a symbolic name."""
+        if not 0 <= rsel <= 15:
+            raise AssemblyError(f"register {name!r}: rsel {rsel} out of range 0..15")
+        if name in self._registers and self._registers[name] != rsel:
+            raise AssemblyError(f"register {name!r} redefined")
+        self._registers[name] = rsel
+
+    def registers(self, mapping: Dict[str, int]) -> None:
+        for name, rsel in mapping.items():
+            self.register(name, rsel)
+
+    def label(self, name: str) -> None:
+        """Attach *name* to the next emitted instruction."""
+        self._pending_labels.append(name)
+
+    def _rsel(self, r: Union[int, str]) -> int:
+        if isinstance(r, str):
+            try:
+                return self._registers[r]
+            except KeyError:
+                raise AssemblyError(f"unknown register name {r!r}") from None
+        if not 0 <= r <= 15:
+            raise AssemblyError(f"rsel {r} out of range 0..15")
+        return r
+
+    # --- the main entry point ------------------------------------------------
+
+    def emit(
+        self,
+        *,
+        r: Union[int, str] = 0,
+        alu: Union[int, str] = "A",
+        a: str = "RM",
+        b: Union[int, str, None] = None,
+        load: Optional[str] = None,
+        ff: Union[FF, int, None] = None,
+        block: bool = False,
+        stack: Optional[int] = None,
+        count: Optional[int] = None,
+        membase: Optional[int] = None,
+        fetch: Union[bool, str] = False,
+        store: Union[bool, str] = False,
+        goto: Optional[str] = None,
+        call: Optional[str] = None,
+        ret: bool = False,
+        coret: bool = False,
+        branch: Optional[tuple] = None,
+        nextmacro: bool = False,
+        dispatch8: Optional[Sequence[str]] = None,
+        idle: bool = False,
+        note: Optional[str] = None,
+    ) -> int:
+        """Emit one microinstruction; returns its index.
+
+        With no successor keyword the instruction falls through to the
+        next one emitted (encoded, like everything else, as an in-page
+        GOTO).
+        """
+        index = len(self.ops)
+        if self._fallthrough_from is not None:
+            self._pending_labels.append(f"__op{index}")
+            self._fallthrough_from = None
+
+        ff_value: Optional[int] = None
+
+        def claim_ff(value: int, why: str) -> None:
+            nonlocal ff_value
+            if ff_value is not None and ff_value != value:
+                raise AssemblyError(
+                    f"FF conflict: {why} needs FF but it is already used "
+                    f"({functions.describe(ff_value)}) -- one FF operation per "
+                    "instruction (section 5.5)"
+                )
+            ff_value = value
+
+        if ff is not None:
+            claim_ff(int(ff), "the explicit function")
+        if count is not None:
+            claim_ff(functions.count_small(count), f"count={count}")
+        if membase is not None:
+            claim_ff(functions.membase_small(membase), f"membase={membase}")
+
+        # --- B bus.
+        bsel = BSel.RM
+        if b is None:
+            bsel = BSel.RM
+        elif isinstance(b, int):
+            enc = constant_fields(b)
+            if enc is None:
+                raise AssemblyError(
+                    f"constant {b:#06x} has no all-zero/all-one byte; assemble it "
+                    "in two microinstructions (section 5.9)"
+                )
+            bsel = enc[0]
+            if ff_value is not None:
+                raise AssemblyError(
+                    f"FF conflict: constant {b:#x} occupies FF as data but "
+                    f"{functions.describe(ff_value)} is also requested"
+                )
+            ff_value = enc[1]
+        elif b in ("RM", "T", "Q"):
+            bsel = {"RM": BSel.RM, "T": BSel.T, "Q": BSel.Q}[b]
+        elif b in EXTB_NAMES:
+            bsel = BSel.EXTB
+            claim_ff(int(EXTB_NAMES[b]), f"B source {b!r}")
+        else:
+            raise AssemblyError(f"unknown B source {b!r}")
+
+        # --- A bus / memory reference.
+        if fetch and store:
+            raise AssemblyError("an instruction cannot both Fetch and Store")
+        if a not in ("RM", "T", "Q", "IFUDATA", "MD"):
+            raise AssemblyError(f"unknown A source {a!r}")
+        if fetch or store:
+            # Addresses from IFUDATA/MEMDATA/Q ride an A-bus-override FF
+            # (the one-instruction operand-addressed and indirect
+            # references of section 5.8); RM and T address directly.
+            if a == "IFUDATA":
+                claim_ff(int(FF.A_IFUDATA), "A from IFUDATA")
+            elif a == "MD":
+                claim_ff(int(FF.A_MD), "A from MEMDATA")
+            elif a == "Q":
+                claim_ff(int(FF.A_Q), "A from Q")
+            if fetch:
+                asel = ASel.T_FETCH if a == "T" else ASel.RM_FETCH
+                if fetch == "fast":
+                    claim_ff(int(FF.IOFETCH), "fast I/O fetch")
+            else:
+                asel = ASel.T_STORE if a == "T" else ASel.RM_STORE
+                if store == "fast":
+                    claim_ff(int(FF.IOSTORE), "fast I/O store")
+        elif a == "Q":
+            claim_ff(int(FF.A_Q), "A from Q")
+            asel = ASel.RM
+        else:
+            asel = {"RM": ASel.RM, "T": ASel.T, "IFUDATA": ASel.IFUDATA, "MD": ASel.MEMDATA}[a]
+
+        # --- ALU op.
+        if isinstance(alu, str):
+            try:
+                aluop = STANDARD_OPS[alu]
+            except KeyError:
+                raise AssemblyError(f"unknown ALU op {alu!r}") from None
+        else:
+            if not 0 <= alu <= 15:
+                raise AssemblyError(f"aluop {alu} out of range 0..15")
+            aluop = alu
+
+        # --- load control.
+        try:
+            lc = _LOADS[load]
+        except KeyError:
+            raise AssemblyError(f"unknown load control {load!r}") from None
+
+        # --- stack operation (Block + RAddress delta, task 0).
+        rsel = self._rsel(r)
+        if stack is not None:
+            if not -8 <= stack <= 7:
+                raise AssemblyError(f"stack delta {stack} out of range -8..7")
+            if r != 0:
+                raise AssemblyError("stack operations use RAddress for the delta, not r=")
+            rsel = stack & 0xF
+            block = True
+
+        # --- successor.
+        chosen = [
+            kw
+            for kw, given in [
+                ("goto", goto is not None),
+                ("call", call is not None),
+                ("ret", ret),
+                ("coret", coret),
+                ("branch", branch is not None),
+                ("nextmacro", nextmacro),
+                ("dispatch8", dispatch8 is not None),
+                ("idle", idle),
+            ]
+            if given
+        ]
+        if len(chosen) > 1:
+            raise AssemblyError(f"multiple successors given: {chosen}")
+        if goto is not None:
+            control = ControlSpec(ControlKind.GOTO, target=goto)
+        elif call is not None:
+            control = ControlSpec(ControlKind.CALL, target=call)
+        elif ret:
+            control = ControlSpec(ControlKind.RET)
+        elif coret:
+            control = ControlSpec(ControlKind.CORETURN)
+        elif branch is not None:
+            cond, true_target, false_target = branch
+            if isinstance(cond, str):
+                try:
+                    cond = CONDITIONS[cond]
+                except KeyError:
+                    raise AssemblyError(f"unknown branch condition {cond!r}") from None
+            control = ControlSpec(
+                ControlKind.BRANCH,
+                condition=cond,
+                true_target=true_target,
+                false_target=false_target,
+            )
+        elif nextmacro:
+            control = ControlSpec(ControlKind.NEXTMACRO)
+        elif dispatch8 is not None:
+            control = ControlSpec(ControlKind.DISPATCH8, dispatch_targets=list(dispatch8))
+        elif idle:
+            control = ControlSpec(ControlKind.IDLE)
+        else:
+            # Implicit fallthrough: an in-page GOTO to the next emission.
+            control = ControlSpec(ControlKind.GOTO, target=f"__op{index + 1}")
+            self._fallthrough_from = index
+
+        op = SourceOp(
+            rsel=rsel,
+            aluop=aluop,
+            bsel=bsel,
+            lc=lc,
+            asel=asel,
+            block=block,
+            ff=ff_value if ff_value is not None else 0,
+            control=control,
+            labels=list(self._pending_labels),
+            source_line=note,
+        )
+        self._pending_labels = []
+        self.ops.append(op)
+        return index
+
+    # --- conveniences ------------------------------------------------------------
+
+    def halt(self) -> int:
+        """Emit a HALT instruction (idles afterwards)."""
+        return self.emit(ff=FF.HALT, idle=True)
+
+    def load_constant(self, reg: Union[int, str], value: int, **kw) -> int:
+        """Load any 16-bit constant, using two instructions when needed.
+
+        The section 5.9 representable constants take one instruction;
+        others are built as (high byte) then OR (low byte).
+        """
+        if constant_fields(value) is not None:
+            return self.emit(r=reg, b=value & 0xFFFF, alu="B", load="RM", **kw)
+        self.emit(r=reg, b=value & 0xFF00, alu="B", load="RM")
+        return self.emit(r=reg, a="RM", b=value & 0x00FF, alu="OR", load="RM", **kw)
+
+    # --- assembly -------------------------------------------------------------------
+
+    def assemble(self, base_page: int = 0) -> Image:
+        """Place the program; the report lands in :attr:`report`."""
+        if self._fallthrough_from is not None:
+            raise AssemblyError(
+                "the last instruction falls through to nothing; give it a successor"
+            )
+        if self._pending_labels:
+            raise AssemblyError(f"labels {self._pending_labels} attached to no instruction")
+        image, self.report = place(self.ops, self.config, base_page=base_page)
+        return image

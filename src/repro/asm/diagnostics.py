@@ -1,0 +1,129 @@
+"""Microcoded diagnostics.
+
+Section 4: the Dorado's density meant "it is not possible to access
+every signal with a scope probe ... We make up for this by providing
+sophisticated debugging facilities, diagnostics, and the ability to
+incrementally assemble and test a Dorado from the bottom up."  These are
+that style of diagnostic, written as microcode for the simulated
+machine:
+
+``diag.imsum``
+    Checksums a range of the control store through the IM read paths --
+    the "is the microcode that I loaded really there?" check.
+``diag.rmtest``
+    Address-in-data march over one RM bank: every register gets its own
+    number, then each is verified; a mismatch hits a breakpoint.
+``diag.alutest``
+    Runs every standard ALUFM operation on fixed operands and compares
+    against host-computed goldens, trapping on the first mismatch.
+
+All three end with FF TRACE of a pass-marker and HALT, so the host
+asserts ``console.trace == [PASS]``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.alu import STANDARD_ALUFM, STANDARD_OPS, compute
+from ..core.functions import FF
+from .assembler import Assembler
+from .program import Image
+
+#: Trace marker emitted by a passing diagnostic.
+PASS = 0x00AA
+
+# RM registers used by diag.imsum (bank selected by the caller's RBASE).
+REG_ADDR = 9
+REG_SUM = 10
+
+
+def im_checksum_microcode(asm: Assembler) -> None:
+    """Emit ``diag.imsum``.
+
+    Inputs: RM[9] = first IM address, COUNT = word count - 1, RM[10] = 0.
+    Output: RM[10] = the 16-bit sum of all three pieces of every word;
+    traces the sum and halts.
+    """
+    asm.registers({"dg.addr": REG_ADDR, "dg.sum": REG_SUM})
+    asm.label("diag.imsum")
+    asm.emit(r="dg.addr", b="RM", alu="B", load="T")
+    asm.emit(b="T", ff=FF.IM_ADDR_B)
+    for piece in (FF.IM_READ_LO, FF.IM_READ_MID, FF.IM_READ_HI):
+        asm.emit(ff=piece, load="T")
+        asm.emit(r="dg.sum", a="RM", b="T", alu="ADD", load="RM")
+    asm.emit(r="dg.addr", a="RM", alu="INC", load="RM",
+             branch=("COUNT", "diag.imsum", "diag.imsum_done"))
+    asm.label("diag.imsum_done")
+    asm.emit(r="dg.sum", b="RM", ff=FF.TRACE)
+    asm.emit(ff=FF.HALT, idle=True)
+
+
+def expected_im_checksum(image: Image, start: int, count: int) -> int:
+    """The host-side golden value for ``diag.imsum``."""
+    total = 0
+    for address in range(start, start + count):
+        inst = image.words.get(address)
+        bits = inst.encode() if inst is not None else 0
+        total += (bits & 0xFFFF) + ((bits >> 16) & 0xFFFF) + ((bits >> 32) & 0x3)
+    return total & 0xFFFF
+
+
+def rm_march_microcode(asm: Assembler) -> None:
+    """Emit ``diag.rmtest``: address-in-data over the current RM bank.
+
+    Every register r gets the value r, then every register is compared;
+    the first mismatch executes a breakpoint.  Trashes the whole bank.
+    """
+    asm.label("diag.rmtest")
+    for r in range(16):
+        asm.emit(r=r, b=r, alu="B", load="RM")
+    for r in range(16):
+        asm.emit(r=r, a="RM", b=r, alu="XOR",
+                 branch=("NONZERO", f"diag.rmfail{r}", f"diag.rmok{r}"))
+        asm.label(f"diag.rmfail{r}")
+        asm.emit(ff=FF.BREAKPOINT, idle=True)
+        asm.label(f"diag.rmok{r}")
+        asm.emit()  # fall through to the next comparison
+    asm.emit(b=PASS & 0xFF, alu="B", load="T")
+    asm.emit(a="T", b=PASS & 0xFF00, alu="OR", load="T")
+    asm.emit(b="T", ff=FF.TRACE)
+    asm.emit(ff=FF.HALT, idle=True)
+
+
+def alu_selftest_microcode(asm: Assembler, a: int = 0x0012, b: int = 0x0034) -> None:
+    """Emit ``diag.alutest``: golden checks of all 16 standard ALU ops.
+
+    The goldens are computed on the host from the same operands; the
+    saved-carry slots are exercised with a known carry state (the ADD
+    immediately before them leaves carry clear for these operands).
+    """
+    asm.register("dg.a", 11)
+    asm.register("dg.b", 12)
+    asm.register("dg.r", 13)
+    asm.label("diag.alutest")
+    asm.load_constant("dg.a", a)
+    asm.load_constant("dg.b", b)
+    saved_carry = False
+    for name, slot in sorted(STANDARD_OPS.items(), key=lambda kv: kv[1]):
+        golden = compute(STANDARD_ALUFM[slot], a, b, saved_carry)
+        if golden.arithmetic:
+            saved_carry = golden.carry
+        # result <- a OP b
+        asm.emit(r="dg.b", b="RM", alu="B", load="T")
+        asm.emit(r="dg.a", a="RM", b="T", alu=name, load="T")
+        asm.emit(r="dg.r", b="T", alu="B", load="RM")
+        # compare against the golden (built with load_constant).
+        asm.load_constant(14, golden.value)  # golden scratch register
+        asm.emit(r=14, b="RM", alu="B", load="T")
+        asm.emit(r="dg.r", a="RM", b="T", alu="XOR",
+                 branch=("NONZERO", f"diag.alufail_{name}", f"diag.aluok_{name}"))
+        asm.label(f"diag.alufail_{name}")
+        asm.emit(ff=FF.BREAKPOINT, idle=True)
+        asm.label(f"diag.aluok_{name}")
+        asm.emit()
+        # restore dg.b (the compare scratch shares nothing with it).
+    asm.emit(b=PASS & 0xFF, alu="B", load="T")
+    asm.emit(a="T", b=PASS & 0xFF00, alu="OR", load="T")
+    asm.emit(b="T", ff=FF.TRACE)
+    asm.emit(ff=FF.HALT, idle=True)

@@ -1,0 +1,177 @@
+"""Static checks over placed microcode images.
+
+The Dorado's designers bragged that the hardware "eliminates constraints
+on microcode operations and sequencing" (section 4) -- but two costs
+remain visible to the microcoder: an instruction that touches MEMDATA
+too soon after the Fetch will **Hold** (a cycle tax, not a bug), and a
+few FF encodings are only meaningful in particular instruction shapes.
+:func:`lint_image` walks the successor graph of a placed image and
+reports both, plus unreachable words -- the checks we wished for while
+writing the emulators in this repository.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import functions
+from ..core.functions import FF
+from ..core.microword import ASel, BSel, Misc, MicroInstruction, NextControl, NextType
+from .program import Image
+
+
+class Severity(enum.Enum):
+    ERROR = "error"      #: will misbehave at run time
+    WARNING = "warning"  #: legal but costs cycles (a Hold)
+    INFO = "info"        #: housekeeping (unreachable words)
+
+
+@dataclass(frozen=True)
+class Finding:
+    severity: Severity
+    address: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity.value}@{self.address:04o}: {self.message}"
+
+
+def _uses_md(inst: MicroInstruction) -> bool:
+    if inst.asel.uses_memdata:
+        return True
+    if inst.bsel.is_constant:
+        return False
+    return inst.ff in (
+        int(FF.SHIFT_MASKMD), int(FF.EXTB_MEMDATA), int(FF.OUTPUT_MD), int(FF.A_MD)
+    )
+
+
+def _starts_fetch(inst: MicroInstruction) -> bool:
+    if not inst.asel.starts_fetch:
+        return False
+    # Fast-I/O fetches deliver to the device, not MEMDATA.
+    if not inst.bsel.is_constant and inst.ff == int(FF.IOFETCH):
+        return False
+    return True
+
+
+def successors(
+    image: Image, address: int, page_size: int
+) -> Tuple[List[int], bool]:
+    """Static successor addresses of one instruction.
+
+    Returns ``(addresses, complete)`` -- *complete* is False when the
+    successor is data-dependent (RETURN, NEXTMACRO, dispatches).
+    """
+    inst = image.words[address]
+    nc = inst.nc
+    kind = NextControl.kind(nc)
+    payload = NextControl.payload(nc)
+    page_base = address & ~(page_size - 1)
+    ff_is_function = not inst.bsel.is_constant
+
+    if kind in (NextType.GOTO, NextType.CALL):
+        if ff_is_function and functions.is_jump_page(inst.ff):
+            target = functions.bank_argument(inst.ff) * page_size + payload
+        else:
+            target = page_base | payload
+        out = [target]
+        if kind == NextType.CALL:
+            out.append(address + 1)  # the continuation
+        return out, True
+    if kind == NextType.BRANCH:
+        if ff_is_function and functions.is_branch_pair(inst.ff):
+            pair = functions.bank_argument(inst.ff)
+        else:
+            pair = NextControl.branch_pair(nc)
+        false_target = page_base + pair * 2
+        return [false_target, false_target + 1], True
+    code = Misc(payload >> 3)
+    if code == Misc.IDLE:
+        return [address], True
+    if code == Misc.NOTIFY:
+        return [address + 1], True
+    if code == Misc.DISPATCH8:
+        base = page_base + (payload & 7) * 8
+        return [base + k for k in range(8)], True
+    # RETURN / RETURN_CALL / NEXTMACRO / CALL_FF / DISPATCH256: data-
+    # or LINK-dependent; treated as graph edges we cannot follow.
+    return [], False
+
+
+def lint_image(
+    image: Image,
+    entries: Optional[Iterable[int]] = None,
+    page_size: int = 64,
+) -> List[Finding]:
+    """All findings for a placed image, sorted by address."""
+    findings: List[Finding] = []
+    words = image.words
+
+    # --- shape errors ------------------------------------------------------
+    for address, inst in sorted(words.items()):
+        ff_is_function = not inst.bsel.is_constant
+        if inst.bsel == BSel.EXTB:
+            if not ff_is_function or inst.ff not in functions.EXTB_SELECTORS:
+                findings.append(Finding(
+                    Severity.ERROR, address,
+                    "BSelect=EXTB without an EXTB-selector FF",
+                ))
+        if ff_is_function and inst.ff in functions.EXTB_SELECTORS \
+                and inst.bsel != BSel.EXTB and inst.ff != int(FF.INPUT):
+            findings.append(Finding(
+                Severity.WARNING, address,
+                f"{functions.describe(inst.ff)} has no effect without BSelect=EXTB",
+            ))
+        if ff_is_function and inst.ff == int(FF.IOFETCH) and not inst.asel.starts_fetch:
+            findings.append(Finding(
+                Severity.ERROR, address, "IOFETCH without a Fetch ASelect"))
+        if ff_is_function and inst.ff == int(FF.IOSTORE) and not inst.asel.starts_store:
+            findings.append(Finding(
+                Severity.ERROR, address, "IOSTORE without a Store ASelect"))
+
+    # --- MD timing: a consumer within the cache-hit latency of its Fetch
+    # holds.  We flag distance-1 consumers along static edges.
+    for address, inst in sorted(words.items()):
+        if not _starts_fetch(inst):
+            continue
+        nexts, complete = successors(image, address, page_size)
+        for nxt in nexts:
+            follower = words.get(nxt)
+            if follower is not None and _uses_md(follower):
+                findings.append(Finding(
+                    Severity.WARNING, nxt,
+                    f"uses MEMDATA one cycle after the Fetch at {address:04o}: "
+                    "this instruction will Hold (cache hit latency is 2)",
+                ))
+
+    # --- reachability --------------------------------------------------------
+    if entries is not None:
+        reached: Set[int] = set()
+        frontier = [e for e in entries]
+        incomplete = False
+        while frontier:
+            node = frontier.pop()
+            if node in reached or node not in words:
+                continue
+            reached.add(node)
+            nexts, complete = successors(image, node, page_size)
+            if not complete:
+                incomplete = True
+            frontier.extend(nexts)
+        if not incomplete:
+            for address in sorted(set(words) - reached):
+                findings.append(Finding(
+                    Severity.INFO, address, "unreachable from the given entries"))
+
+    findings.sort(key=lambda f: (f.address, f.severity.value))
+    return findings
+
+
+def lint_report(findings: List[Finding]) -> str:
+    """Human-readable rendering of the findings."""
+    if not findings:
+        return "clean: no findings"
+    return "\n".join(str(f) for f in findings)

@@ -1,0 +1,141 @@
+"""Microprogram representations.
+
+A microprogram passes through three forms: the :class:`Assembler` DSL
+emits :class:`SourceOp` records (microinstructions with *symbolic*
+successors); the placer assigns each an IM address and fixes up
+NextControl payloads and FF jump assists; the result is an
+:class:`Image` -- a sparse map of addresses to encoded
+:class:`~repro.core.microword.MicroInstruction` plus the symbol table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.microword import ASel, BSel, Condition, LoadControl, MicroInstruction
+from ..errors import AssemblyError
+
+
+class ControlKind(enum.Enum):
+    """The symbolic successor forms the DSL can express."""
+
+    GOTO = "goto"            #: unconditional transfer to a label
+    CALL = "call"            #: transfer with LINK <- THISPC+1
+    RET = "ret"              #: NEXTPC <- LINK
+    CORETURN = "coreturn"    #: NEXTPC <- LINK and LINK <- THISPC+1 (coroutines)
+    BRANCH = "branch"        #: conditional: (condition, true label, false label)
+    NEXTMACRO = "nextmacro"  #: dispatch on the next macroinstruction (IFU)
+    DISPATCH8 = "dispatch8"  #: eight-way dispatch on B's low bits
+    IDLE = "idle"            #: jump to self
+    NOTIFY = "notify"        #: fall through, notifying the console
+
+
+@dataclass
+class ControlSpec:
+    """A symbolic NextControl."""
+
+    kind: ControlKind
+    target: Optional[str] = None            #: GOTO/CALL label
+    condition: Optional[Condition] = None   #: BRANCH condition
+    true_target: Optional[str] = None
+    false_target: Optional[str] = None
+    dispatch_targets: Optional[List[str]] = None  #: DISPATCH8: exactly 8 labels
+
+
+@dataclass
+class SourceOp:
+    """One microinstruction before placement."""
+
+    rsel: int = 0
+    aluop: int = 0
+    bsel: BSel = BSel.RM
+    lc: LoadControl = LoadControl.NONE
+    asel: ASel = ASel.RM
+    block: bool = False
+    ff: int = 0
+    control: ControlSpec = field(default_factory=lambda: ControlSpec(ControlKind.IDLE))
+    labels: List[str] = field(default_factory=list)
+    source_line: Optional[str] = None  #: where the DSL emitted it (diagnostics)
+
+    @property
+    def ff_free(self) -> bool:
+        """Whether the placer may use FF for a JumpPage/BranchPair assist.
+
+        FF is unavailable both when it encodes a function and when
+        BSelect treats it as constant data (section 5.5's "only one
+        FF-specified operation" tradeoff).
+        """
+        return self.ff == 0 and not self.bsel.is_constant
+
+
+@dataclass
+class Image:
+    """A placed, encoded microprogram."""
+
+    words: Dict[int, MicroInstruction]
+    symbols: Dict[str, int]
+    im_size: int
+    entry: int = 0  #: address of the first-emitted instruction
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.symbols[label]
+        except KeyError:
+            raise AssemblyError(f"undefined label {label!r}") from None
+
+    def encoded(self) -> Dict[int, int]:
+        """The raw 34-bit words, as the IM chips would hold them."""
+        return {addr: inst.encode() for addr, inst in self.words.items()}
+
+    def disassemble(self) -> List[Tuple[int, str]]:
+        """(address, rendering) pairs in address order, for debugging."""
+        reverse: Dict[int, List[str]] = {}
+        for label, addr in self.symbols.items():
+            reverse.setdefault(addr, []).append(label)
+        lines = []
+        for addr in sorted(self.words):
+            tags = ",".join(sorted(reverse.get(addr, [])))
+            prefix = f"{tags}: " if tags else ""
+            lines.append((addr, prefix + self.words[addr].describe()))
+        return lines
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (raw 34-bit words as integers)."""
+        return {
+            "im_size": self.im_size,
+            "entry": self.entry,
+            "words": {str(a): inst.encode() for a, inst in self.words.items()},
+            "symbols": dict(self.symbols),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "Image":
+        """Reload an image saved with :meth:`to_dict`."""
+        return Image(
+            words={
+                int(a): MicroInstruction.decode(bits)
+                for a, bits in data["words"].items()
+            },
+            symbols=dict(data["symbols"]),
+            im_size=data["im_size"],
+            entry=data.get("entry", 0),
+        )
+
+    def merged_with(self, other: "Image") -> "Image":
+        """Combine two images (e.g. emulator microcode + I/O microcode)."""
+        overlap = set(self.words) & set(other.words)
+        if overlap:
+            raise AssemblyError(f"images overlap at addresses {sorted(overlap)[:8]}")
+        words = dict(self.words)
+        words.update(other.words)
+        symbols = dict(self.symbols)
+        for name, addr in other.symbols.items():
+            if name in symbols and symbols[name] != addr:
+                raise AssemblyError(f"symbol {name!r} defined in both images")
+            symbols[name] = addr
+        return Image(words=words, symbols=symbols, im_size=max(self.im_size, other.im_size))

@@ -1,0 +1,151 @@
+"""A small library of reusable microcode routines and idioms.
+
+Section 6.2.3: "LINK can also be loaded from a data bus, so that control
+can be sent to an arbitrary computed address; this allows a microprogram
+to implement a stack of subroutine links, for example."  The
+:func:`emit_save_link` / :func:`emit_restore_link` macros are exactly
+that stack (in main memory, pointer in an RM register), which is what
+makes *recursive microcode* possible on a machine with a single
+hardware LINK per task -- demonstrated by :func:`triangular_microcode`.
+
+Also here: the block-move and block-fill inner loops every machine
+grows, as CALLable microsubroutines.
+"""
+
+from __future__ import annotations
+
+from ..core.functions import FF
+from .assembler import Assembler
+
+#: RM register holding the link-stack pointer (a main-memory VA).
+REG_LSP = 15
+
+# Registers used by the block routines.
+REG_SRC = 12
+REG_DST = 13
+REG_CNT = 14
+
+
+def register_names(asm: Assembler) -> None:
+    asm.registers({"lib.lsp": REG_LSP, "lib.src": REG_SRC,
+                   "lib.dst": REG_DST, "lib.cnt": REG_CNT})
+
+
+def emit_save_link(asm: Assembler) -> None:
+    """Inline macro: push LINK onto the memory link stack (2 instructions).
+
+    Inlined rather than CALLed, since a call would clobber the LINK
+    being saved.
+    """
+    asm.emit(b="LINK", alu="B", load="T")
+    asm.emit(r="lib.lsp", a="RM", b="T", store=True, alu="INC", load="RM")
+
+
+def emit_restore_link(asm: Assembler) -> None:
+    """Inline macro: pop the memory link stack back into LINK (4 instructions).
+
+    The popped word goes through T: EXTB_MEMDATA and LINK_B both need FF
+    (one FF operation per instruction, section 5.5).
+    """
+    asm.emit(r="lib.lsp", a="RM", alu="DEC", load="RM")
+    asm.emit(r="lib.lsp", a="RM", fetch=True)
+    asm.emit(a="MD", alu="A", load="T")
+    asm.emit(b="T", ff=FF.LINK_B)
+
+
+def memcpy_microcode(asm: Assembler) -> None:
+    """``lib.memcpy``: copy ``lib.cnt`` words from ``lib.src`` to ``lib.dst``.
+
+    CALL with the three registers set; returns with ``lib.cnt`` = 0.
+    Two microinstructions per word plus one memory hold: the canonical
+    fetch/store move loop.
+    """
+    register_names(asm)
+    asm.label("lib.memcpy")
+    # Two branches cannot share a target (section 5.5): the zero-count
+    # early-out gets its own duplicated RET.
+    asm.emit(r="lib.cnt", a="RM", alu="A",
+             branch=("ZERO", "lib.memcpy_empty", "lib.memcpy_enter"))
+    asm.label("lib.memcpy_empty")
+    asm.emit(ret=True)
+    # The loop head is already the back-branch's pair target, so the
+    # entry edge goes through a GOTO stub (one word of placement tax).
+    asm.label("lib.memcpy_enter")
+    asm.emit(goto="lib.memcpy_loop")
+    asm.label("lib.memcpy_loop")
+    asm.emit(r="lib.src", a="RM", fetch=True, alu="INC", load="RM")
+    asm.emit(r="lib.dst", a="RM", b="MD", store=True, alu="INC", load="RM")
+    asm.emit(r="lib.cnt", a="RM", alu="DEC", load="RM",
+             branch=("NONZERO", "lib.memcpy_loop", "lib.memcpy_done"))
+    asm.label("lib.memcpy_done")
+    asm.emit(ret=True)
+
+
+def memset_microcode(asm: Assembler) -> None:
+    """``lib.memset``: store T into ``lib.cnt`` words at ``lib.dst``."""
+    register_names(asm)
+    asm.label("lib.memset")
+    # Two branches cannot share a target (section 5.5): the zero-count
+    # early-out gets its own duplicated RET.
+    asm.emit(r="lib.cnt", a="RM", alu="A",
+             branch=("ZERO", "lib.memset_empty", "lib.memset_enter"))
+    asm.label("lib.memset_empty")
+    asm.emit(ret=True)
+    # The loop head is already the back-branch's pair target, so the
+    # entry edge goes through a GOTO stub (one word of placement tax).
+    asm.label("lib.memset_enter")
+    asm.emit(goto="lib.memset_loop")
+    asm.label("lib.memset_loop")
+    asm.emit(r="lib.dst", a="RM", b="T", store=True, alu="INC", load="RM")
+    asm.emit(r="lib.cnt", a="RM", alu="DEC", load="RM",
+             branch=("NONZERO", "lib.memset_loop", "lib.memset_done"))
+    asm.label("lib.memset_done")
+    asm.emit(ret=True)
+
+
+def checksum_microcode(asm: Assembler) -> None:
+    """``lib.checksum``: sum ``lib.cnt`` words at ``lib.src`` into T."""
+    register_names(asm)
+    asm.label("lib.checksum")
+    asm.emit(b=0, alu="B", load="T")
+    # Two branches cannot share a target (section 5.5): the zero-count
+    # early-out gets its own duplicated RET.
+    asm.emit(r="lib.cnt", a="RM", alu="A",
+             branch=("ZERO", "lib.checksum_empty", "lib.checksum_enter"))
+    asm.label("lib.checksum_empty")
+    asm.emit(ret=True)
+    # The loop head is already the back-branch's pair target, so the
+    # entry edge goes through a GOTO stub (one word of placement tax).
+    asm.label("lib.checksum_enter")
+    asm.emit(goto="lib.checksum_loop")
+    asm.label("lib.checksum_loop")
+    asm.emit(r="lib.src", a="RM", fetch=True, alu="INC", load="RM")
+    asm.emit(a="MD", b="T", alu="ADD", load="T")
+    asm.emit(r="lib.cnt", a="RM", alu="DEC", load="RM",
+             branch=("NONZERO", "lib.checksum_loop", "lib.checksum_done"))
+    asm.label("lib.checksum_done")
+    asm.emit(ret=True)
+
+
+def triangular_microcode(asm: Assembler) -> None:
+    """``lib.tri``: recursive microcode -- tri(n) = n + tri(n-1).
+
+    Input n in T, result in T.  Each recursion level pushes its n on the
+    hardware stack and its return LINK on the memory link stack, so the
+    single task-specific LINK register supports unbounded nesting --
+    the section 6.2.3 subroutine-link-stack idiom, working.
+    """
+    register_names(asm)
+    asm.label("lib.tri")
+    asm.emit(a="T", alu="A", branch=("ZERO", "lib.tri_base", "lib.tri_rec"))
+    asm.label("lib.tri_base")
+    asm.emit(ret=True)                          # tri(0) = 0, already in T
+    asm.label("lib.tri_rec")
+    asm.emit(stack=1, a="T", alu="A", load="RM")  # push n
+    emit_save_link(asm)                           # (clobbers T)
+    asm.emit(stack=0, a="RM", alu="DEC", load="T")  # T <- top-of-stack - 1
+    asm.emit(call="lib.tri")                     # T <- tri(n-1)
+    asm.emit(b="T", ff=FF.Q_B)                   # stash: restore clobbers T
+    emit_restore_link(asm)
+    asm.emit(stack=-1, a="RM", b="Q", alu="ADD", load="T")  # T = n + tri(n-1)
+    asm.emit(ret=True)

@@ -1,0 +1,32 @@
+"""The Dorado processor proper -- the paper's primary contribution.
+
+Subpackage layout mirrors the machine: :mod:`microword` and
+:mod:`functions` define the 34-bit microinstruction; :mod:`alu`,
+:mod:`shifter`, :mod:`registers`, and :mod:`stack` are the data section;
+:mod:`nextpc` and :mod:`taskpipe` are the control section; and
+:mod:`processor` wires everything together into a cycle-stepped machine.
+"""
+
+from .microword import (
+    ASel,
+    BSel,
+    Condition,
+    LoadControl,
+    MicroInstruction,
+    NextControl,
+    NextType,
+)
+from .functions import FF
+from .processor import Processor
+
+__all__ = [
+    "ASel",
+    "BSel",
+    "Condition",
+    "FF",
+    "LoadControl",
+    "MicroInstruction",
+    "NextControl",
+    "NextType",
+    "Processor",
+]

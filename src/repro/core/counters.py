@@ -1,0 +1,98 @@
+"""Performance counters.
+
+The real Dorado was measured with oscilloscopes and microcode counters;
+the simulator just counts.  Everything the benchmarks report -- task
+occupancy, hold cycles, cache behaviour, words moved over each bus -- is
+derived from one :class:`Counters` instance attached to the processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..types import NUM_TASKS
+
+
+@dataclass
+class Counters:
+    """Event counts accumulated over a simulation run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    held_cycles: int = 0
+    task_switches: int = 0
+    blocks: int = 0
+    task_cycles: List[int] = field(default_factory=lambda: [0] * NUM_TASKS)
+    task_held: List[int] = field(default_factory=lambda: [0] * NUM_TASKS)
+    task_instructions: List[int] = field(default_factory=lambda: [0] * NUM_TASKS)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    storage_reads: int = 0
+    storage_writes: int = 0
+    fastio_munches: int = 0
+    slowio_words_in: int = 0
+    slowio_words_out: int = 0
+    memory_fetches: int = 0
+    memory_stores: int = 0
+
+    def record_cycle(self, task: int, held: bool) -> None:
+        self.cycles += 1
+        self.task_cycles[task] += 1
+        if held:
+            self.held_cycles += 1
+            self.task_held[task] += 1
+        else:
+            self.instructions += 1
+            self.task_instructions[task] += 1
+
+    def occupancy(self, task: int) -> float:
+        """Fraction of all cycles spent running (or held in) *task*."""
+        if self.cycles == 0:
+            return 0.0
+        return self.task_cycles[task] / self.cycles
+
+    @property
+    def hit_rate(self) -> float:
+        refs = self.cache_hits + self.cache_misses
+        return self.cache_hits / refs if refs else 1.0
+
+    def delta(self, earlier: "Counters") -> "Counters":
+        """Counter differences since an earlier snapshot of *self*."""
+        return Counters(
+            cycles=self.cycles - earlier.cycles,
+            instructions=self.instructions - earlier.instructions,
+            held_cycles=self.held_cycles - earlier.held_cycles,
+            task_switches=self.task_switches - earlier.task_switches,
+            blocks=self.blocks - earlier.blocks,
+            task_cycles=[a - b for a, b in zip(self.task_cycles, earlier.task_cycles)],
+            task_held=[a - b for a, b in zip(self.task_held, earlier.task_held)],
+            task_instructions=[
+                a - b for a, b in zip(self.task_instructions, earlier.task_instructions)
+            ],
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+            storage_reads=self.storage_reads - earlier.storage_reads,
+            storage_writes=self.storage_writes - earlier.storage_writes,
+            fastio_munches=self.fastio_munches - earlier.fastio_munches,
+            slowio_words_in=self.slowio_words_in - earlier.slowio_words_in,
+            slowio_words_out=self.slowio_words_out - earlier.slowio_words_out,
+            memory_fetches=self.memory_fetches - earlier.memory_fetches,
+            memory_stores=self.memory_stores - earlier.memory_stores,
+        )
+
+    def copy(self) -> "Counters":
+        return self.delta(Counters())
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the headline numbers, for reports."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "held_cycles": self.held_cycles,
+            "task_switches": self.task_switches,
+            "cache_hit_rate": self.hit_rate,
+            "storage_reads": self.storage_reads,
+            "storage_writes": self.storage_writes,
+            "fastio_munches": self.fastio_munches,
+        }

@@ -1,0 +1,244 @@
+"""The FF function catalogue.
+
+Section 5.5: "The Dorado encodes most of its operations ... in an eight
+bit function field called FF, quickly decoded at the beginning of every
+microinstruction execution cycle ... FF can also serve as an eight bit
+constant or as part of a jump address.  This encoding saves many bits in
+the microinstruction, at the expense of allowing only one FF-specified
+operation to be done in each cycle."
+
+The 256 FF codes are divided into banks:
+
+=============  ===========================================================
+``0x00-0x07``  fixed functions (NOP and a few common ones)
+``0x08-0x0F``  ``MEMBASE <- n`` for n in 0..7 (section 6.3.3: "loaded
+               from FF field or from B")
+``0x10-0x1F``  ``COUNT <- n`` for n in 0..15 ("loaded ... with small
+               constants from FF")
+``0x20-0x3F``  ``BranchPair(n)``: supplies a 5-bit even/odd pair number
+               to a BRANCH, reaching all 32 pairs of the page
+``0x40-0x7F``  ``JumpPage(p)``: supplies a 6-bit page number to a GOTO,
+               CALL, or DISPATCH256 ("part of a jump address")
+``0x80-0xFF``  fixed functions (the :class:`FF` enum)
+=============  ===========================================================
+
+When BSelect specifies a constant, FF is *data* and no function runs;
+the assembler enforces that exclusivity (the section 5.5 tradeoff).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import EncodingError
+
+# Bank boundaries.
+MEMBASE_SMALL_BASE = 0x08
+COUNT_SMALL_BASE = 0x10
+BRANCH_PAIR_BASE = 0x20
+JUMP_PAGE_BASE = 0x40
+FIXED_BASE = 0x80
+
+
+class FF(enum.IntEnum):
+    """Fixed FF functions (plus the low-bank singletons)."""
+
+    NOP = 0x00
+
+    # --- shifter (section 6.3.4) ----------------------------------------
+    SHIFTCTL_B = 0x80     #: SHIFTCTL <- B
+    SHIFT_OUT = 0x81      #: RESULT <- shifter output, no mask
+    SHIFT_MASKZ = 0x82    #: RESULT <- shifter output masked, zero fill
+    SHIFT_MASKMD = 0x83   #: RESULT <- shifter output masked, MEMDATA fill
+    READ_SHIFTCTL = 0x84  #: RESULT <- SHIFTCTL
+
+    # --- Q and multiply/divide steps ------------------------------------
+    Q_B = 0x85            #: Q <- B
+    A_Q = 0x86            #: the A bus is driven from Q this cycle
+    MULSTEP = 0x87        #: one multiply step (see :mod:`repro.core.alu`)
+    DIVSTEP = 0x88        #: one divide step
+
+    # --- A-bus overrides (MEMADDRESS is a copy of A, so these give
+    # one-instruction operand-addressed and indirect memory references:
+    # "the IFU can directly supply operand data to the processor" and
+    # "memory data ... routed to a variety of destinations", section 5.8)
+    A_IFUDATA = 0xB2      #: the A bus is driven from IFUDATA this cycle
+    A_MD = 0xB3           #: the A bus is driven from MEMDATA this cycle
+
+    # --- one-bit shifts of the ALU output (section 6.3.2) ---------------
+    RESULT_LSH = 0x89     #: RESULT <- ALU << 1
+    RESULT_RSH = 0x8A     #: RESULT <- ALU >> 1 (logical)
+
+    # --- small registers (section 6.3.3) --------------------------------
+    COUNT_B = 0x8B        #: COUNT <- B
+    READ_COUNT = 0x8C     #: RESULT <- COUNT
+    RBASE_B = 0x8D        #: RBASE <- B (low 4 bits)
+    READ_RBASE = 0x8E     #: RESULT <- RBASE
+    STACKPTR_B = 0x8F     #: STACKPTR <- B (low 8 bits)
+    READ_STACKPTR = 0x90  #: RESULT <- STACKPTR
+    MEMBASE_B = 0x91      #: MEMBASE <- B (low 5 bits)
+    READ_MEMBASE = 0x92   #: RESULT <- MEMBASE
+    ALUFM_WRITE = 0x93    #: ALUFM[ALUOp] <- B (the map is writeable)
+
+    # --- memory system interface (section 5.8, ref [1]) -----------------
+    BASE_LO_B = 0x98      #: base register[MEMBASE], low 16 bits <- B
+    BASE_HI_B = 0x99      #: base register[MEMBASE], high bits <- B
+    MAP_WRITE = 0x9A      #: page map[VA(A)] <- B (real page + flags)
+    READ_MAP = 0x9B       #: RESULT <- page map[VA(A)]
+    READ_FAULTS = 0x9C    #: RESULT <- latched fault flags, clearing them
+    CACHE_FLUSH = 0x9D    #: flush/invalidate the cache line holding VA(A)
+    IOFETCH = 0x9E        #: qualify this Fetch as a fast-I/O munch read
+    IOSTORE = 0x9F        #: qualify this Store as a fast-I/O munch write
+
+    # --- slow I/O system (section 5.8) -----------------------------------
+    IOADDRESS_B = 0xA0    #: IOADDRESS[task] <- B
+    READ_IOADDRESS = 0xA1  #: RESULT <- IOADDRESS[task]
+    OUTPUT = 0xA2         #: IODATA <- B; the device at IOADDRESS accepts it
+    INPUT = 0xA3          #: with BSelect=EXTB: B <- device output word
+    OUTPUT_MD = 0xB1      #: IODATA <- MEMDATA directly ("memory data ...
+                          #: routed to a variety of destinations
+                          #: simultaneously", section 5.8); lets one
+                          #: instruction output the previous fetch while
+                          #: starting the next one
+
+    # --- EXTB sources (section 6.3.2: B extended to the whole machine) --
+    EXTB_MEMDATA = 0xA4   #: with BSelect=EXTB: B <- MEMDATA
+    EXTB_IFUDATA = 0xA5   #: with BSelect=EXTB: B <- IFUDATA
+    EXTB_CPREG = 0xA6     #: with BSelect=EXTB: B <- CPREG (console register)
+    EXTB_FAULTS = 0xA7    #: with BSelect=EXTB: B <- fault flags (no clear)
+    EXTB_LINK = 0xA8      #: with BSelect=EXTB: B <- LINK[task]
+    EXTB_IFUPC = 0xA9     #: with BSelect=EXTB: B <- IFU macro PC (byte addr)
+    EXTB_THISTASK = 0xAA  #: with BSelect=EXTB: B <- current task number
+
+    # --- control section odds and ends (sections 6.2.3, 5.2) ------------
+    LINK_B = 0xAB         #: LINK[task] <- B (computed control transfer)
+    IFU_JUMP = 0xAC       #: redirect the IFU to the byte address on RESULT
+    IFU_RESET = 0xAD      #: flush the IFU buffer and stop prefetching
+    CPREG_B = 0xAE        #: CPREG <- B
+    WAKEUP_B = 0xAF       #: raise wakeups for the task mask in B
+    READY_B = 0xB0        #: READY <- READY | B ("explicitly made ready")
+
+    # --- console/debug paths (section 6.2.3) -----------------------------
+    BREAKPOINT = 0xB8     #: halt the simulation with MicrocodeCrash
+    TRACE = 0xB9          #: append B to the console trace buffer
+    HALT = 0xBA           #: stop the run loop (simulation convenience)
+    IM_ADDR_B = 0xBB      #: console IM address latch <- B
+    IM_WRITE_LO = 0xBC    #: IM[latch] bits 15:0 <- B
+    IM_WRITE_MID = 0xBD   #: IM[latch] bits 31:16 <- B
+    IM_WRITE_HI = 0xBE    #: IM[latch] bits 33:32 <- B
+    TPC_B = 0xBF          #: TPC[B >> 12] <- B & 0xFFF (via TPIMOUT paths)
+    READ_TPC = 0xC0       #: RESULT <- TPC[B >> 12]
+    IM_READ_LO = 0xC1     #: RESULT <- IM[latch] bits 15:0 (diagnostics)
+    IM_READ_MID = 0xC2    #: RESULT <- IM[latch] bits 31:16
+    IM_READ_HI = 0xC3     #: RESULT <- IM[latch] bits 33:32
+
+
+#: FF codes that drive the RESULT bus instead of the ALU output.
+RESULT_SOURCES = frozenset(
+    {
+        FF.SHIFT_OUT,
+        FF.SHIFT_MASKZ,
+        FF.SHIFT_MASKMD,
+        FF.READ_SHIFTCTL,
+        FF.RESULT_LSH,
+        FF.RESULT_RSH,
+        FF.READ_COUNT,
+        FF.READ_RBASE,
+        FF.READ_STACKPTR,
+        FF.READ_MEMBASE,
+        FF.READ_MAP,
+        FF.READ_FAULTS,
+        FF.READ_IOADDRESS,
+        FF.READ_TPC,
+        FF.IM_READ_LO,
+        FF.IM_READ_MID,
+        FF.IM_READ_HI,
+    }
+)
+
+#: FF codes valid only when BSelect = EXTB (they name the external source).
+EXTB_SELECTORS = frozenset(
+    {
+        FF.INPUT,
+        FF.EXTB_MEMDATA,
+        FF.EXTB_IFUDATA,
+        FF.EXTB_CPREG,
+        FF.EXTB_FAULTS,
+        FF.EXTB_LINK,
+        FF.EXTB_IFUPC,
+        FF.EXTB_THISTASK,
+    }
+)
+
+
+def membase_small(n: int) -> int:
+    """FF code for ``MEMBASE <- n`` (n in 0..7)."""
+    if not 0 <= n <= 7:
+        raise EncodingError(f"MEMBASE small constant {n} out of range 0..7")
+    return MEMBASE_SMALL_BASE + n
+
+
+def count_small(n: int) -> int:
+    """FF code for ``COUNT <- n`` (n in 0..15)."""
+    if not 0 <= n <= 15:
+        raise EncodingError(f"COUNT small constant {n} out of range 0..15")
+    return COUNT_SMALL_BASE + n
+
+
+def branch_pair(n: int) -> int:
+    """FF code supplying even/odd pair *n* (0..31) to a BRANCH."""
+    if not 0 <= n <= 31:
+        raise EncodingError(f"branch pair {n} out of range 0..31")
+    return BRANCH_PAIR_BASE + n
+
+
+def jump_page(p: int) -> int:
+    """FF code supplying page number *p* (0..63) to a GOTO/CALL/dispatch."""
+    if not 0 <= p <= 63:
+        raise EncodingError(f"page number {p} out of range 0..63")
+    return JUMP_PAGE_BASE + p
+
+
+def is_membase_small(ff: int) -> bool:
+    return MEMBASE_SMALL_BASE <= ff < COUNT_SMALL_BASE
+
+
+def is_count_small(ff: int) -> bool:
+    return COUNT_SMALL_BASE <= ff < BRANCH_PAIR_BASE
+
+
+def is_branch_pair(ff: int) -> bool:
+    return BRANCH_PAIR_BASE <= ff < JUMP_PAGE_BASE
+
+
+def is_jump_page(ff: int) -> bool:
+    return JUMP_PAGE_BASE <= ff < FIXED_BASE
+
+
+def bank_argument(ff: int) -> int:
+    """The small-integer argument carried by a banked FF code."""
+    if is_membase_small(ff):
+        return ff - MEMBASE_SMALL_BASE
+    if is_count_small(ff):
+        return ff - COUNT_SMALL_BASE
+    if is_branch_pair(ff):
+        return ff - BRANCH_PAIR_BASE
+    if is_jump_page(ff):
+        return ff - JUMP_PAGE_BASE
+    raise EncodingError(f"FF {ff:#04x} is not a banked code")
+
+
+def describe(ff: int) -> str:
+    """Human-readable name of any FF code, for traces."""
+    if is_membase_small(ff):
+        return f"MEMBASE<-{bank_argument(ff)}"
+    if is_count_small(ff):
+        return f"COUNT<-{bank_argument(ff)}"
+    if is_branch_pair(ff):
+        return f"BranchPair({bank_argument(ff)})"
+    if is_jump_page(ff):
+        return f"JumpPage({bank_argument(ff)})"
+    try:
+        return FF(ff).name
+    except ValueError:
+        return f"FF({ff:#04x})"

@@ -1,0 +1,678 @@
+"""The Dorado processor: one object, one ``step()`` per 60 ns cycle.
+
+This wires the data section (ALU, shifter, RM/T/STACK, small registers),
+the control section (NEXTPC, LINK, the task pipeline), the memory
+system, the IFU, and the I/O device models into the synchronous machine
+of the paper.  The step order inside a cycle follows Figures 2 and 3:
+
+1. fetch the microinstruction at THISTASK's PC;
+2. evaluate **Hold** (section 5.7) -- a held instruction becomes
+   "no-operation, jump to self" but every clock keeps running;
+3. if not held, execute: operand reads (through the **bypass** network,
+   section 5.6), ALU/shifter, memory-reference start, late branch
+   conditions, FF side effects, NEXTPC;
+4. write TPC, make the NEXT decision (Block / preemption), publish NEXT
+   to device controllers;
+5. tick the devices, memory pipeline, and IFU;
+6. run stage 1 of the task pipeline (arbitrate wakeups) for next cycle.
+
+Register writeback is modelled with a one-instruction-deep pending
+latch: the paper's Model 1 bypasses RESULT into the operand muxes, so an
+instruction normally sees its predecessor's results; with
+``config.bypass_enabled`` False the latch is not consulted and reads one
+instruction deep return stale data -- the Model 0 behaviour whose
+"subtle bugs and significant loss of performance" section 5.6 recounts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import MachineConfig, PRODUCTION
+from ..errors import DeviceError, EncodingError, MicrocodeCrash
+from ..mem.pipeline import MemorySystem
+from ..ifu.ifu import Ifu
+from ..types import EMULATOR_TASK, word
+from . import functions
+from .alu import Alu
+from .console import Console
+from .counters import Counters
+from .functions import FF
+from .microword import (
+    ASel,
+    BSel,
+    Condition,
+    LoadControl,
+    MicroInstruction,
+    Misc,
+    NextControl,
+    NextType,
+    constant_value,
+)
+from .nextpc import ControlSection, NextOutcome
+from .registers import RegisterFile
+from .shifter import ShiftControl, shift, shift_masked
+from .stack import StackUnit
+from .taskpipe import TaskPipeline
+
+#: Consecutive held cycles after which the simulator declares livelock.
+HOLD_LIMIT = 100_000
+
+# Fault bits merged into the FF READ_FAULTS / EXTB_FAULTS word.
+FAULT_STACK_SHIFT = 3  # stack error byte sits above the memory fault bits
+
+
+class Processor:
+    """A complete simulated Dorado."""
+
+    def __init__(self, config: MachineConfig = PRODUCTION) -> None:
+        self.config = config
+        self.counters = Counters()
+        self.regs = RegisterFile()
+        self.stack = StackUnit()
+        self.alu = Alu()
+        self.pipe = TaskPipeline()
+        self.control = ControlSection(config)
+        self.memory = MemorySystem(config, self.counters)
+        self.ifu = Ifu(self.memory, decode_cycles=config.ifu_decode_cycles)
+        self.console = Console(config.im_size)
+        self.im: List[Optional[MicroInstruction]] = [None] * config.im_size
+        self.symbols: Dict[str, int] = {}
+        self.this_pc = 0
+        self.halted = False
+        self.now = 0
+        self.trace_hook: Optional[Callable[[int, int, MicroInstruction, bool], None]] = None
+        # Bypass latch: (space, key) -> value, from the previous instruction.
+        self._pending: Dict[Tuple[str, int], int] = {}
+        self._devices: List[object] = []
+        self._device_by_address: Dict[int, object] = {}
+        self._device_by_task: Dict[int, object] = {}
+        self._published_next = EMULATOR_TASK
+        self._consecutive_holds = 0
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def load_image(self, image) -> None:
+        """Install an assembled microcode image (see :mod:`repro.asm`).
+
+        Task 0 is pointed at the image's entry (its first-emitted
+        instruction); :meth:`boot` overrides that for other layouts.
+        """
+        for address, inst in image.words.items():
+            self.im[address] = inst
+        self.symbols.update(image.symbols)
+        self.boot(getattr(image, "entry", 0))
+
+    def attach_device(self, device) -> None:
+        """Register a device controller.
+
+        The device claims a window on the IOADDRESS bus and, if it has a
+        task, the right to raise that task's wakeup line.
+        """
+        for offset in range(device.register_count):
+            address = device.io_address + offset
+            if address in self._device_by_address:
+                raise DeviceError(f"IOADDRESS {address:#x} claimed twice")
+            self._device_by_address[address] = device
+        if device.task is not None:
+            if device.task in self._device_by_task:
+                raise DeviceError(f"task {device.task} claimed twice")
+            if device.task == EMULATOR_TASK:
+                raise DeviceError("task 0 belongs to the emulator")
+            self._device_by_task[device.task] = device
+        self._devices.append(device)
+        device.attach(self)
+
+    def boot(self, pc: int = 0, task: int = EMULATOR_TASK) -> None:
+        """Point a task at *pc* and make it the running task."""
+        if isinstance(pc, str):
+            pc = self.symbols[pc]
+        self.pipe.write_tpc(task, pc)
+        self.pipe.this_task = task
+        self.this_pc = pc
+        self.halted = False
+
+    def address_of(self, label: str) -> int:
+        return self.symbols[label]
+
+    # ------------------------------------------------------------------
+    # the machine cycle
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the whole machine by one microcycle."""
+        task = self.pipe.this_task
+        pc = self.this_pc
+        inst = self.im[pc]
+        if inst is None:
+            raise MicrocodeCrash(f"task {task} fetched uninitialized microstore at {pc:#o}")
+
+        held = self._check_hold(inst, task)
+        if held:
+            self._consecutive_holds += 1
+            if self._consecutive_holds > HOLD_LIMIT:
+                raise MicrocodeCrash(
+                    f"task {task} held {HOLD_LIMIT} consecutive cycles at {pc:#o}"
+                )
+            next_pc = pc  # "no operation, jump to self"
+            blocked = False
+            self._commit_pending()  # clocks keep running (section 5.7)
+        else:
+            self._consecutive_holds = 0
+            next_pc, blocked = self._execute(inst, task, pc)
+
+        self.counters.record_cycle(task, held)
+        if self.trace_hook is not None:
+            self.trace_hook(self.now, pc, inst, held)
+
+        # TPC is written every cycle with THISTASKNEXTPC (section 6.2.2).
+        self.pipe.write_tpc(task, next_pc)
+        nxt = self.pipe.decide_next(blocked)
+        if blocked:
+            self.counters.blocks += 1
+        if nxt != task:
+            self.counters.task_switches += 1
+        self.this_pc = self.pipe.read_tpc(nxt)
+
+        # Devices observe the NEXT published at the end of the *previous*
+        # cycle; this one-cycle lag is what gives the two-instruction
+        # minimum of section 6.2.1 before a wakeup can be dropped.
+        granted_task = self._published_next
+        self._published_next = nxt
+        for device in self._devices:
+            device.tick(self, granted=(granted_task == device.task))
+
+        self.memory.tick()
+        self.ifu.tick()
+        self.now += 1
+        self.pipe.arbitrate()
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Step until FF ``HALT`` or *max_cycles*; returns cycles used."""
+        start = self.counters.cycles
+        while not self.halted and self.counters.cycles - start < max_cycles:
+            self.step()
+        return self.counters.cycles - start
+
+    def run_until(self, predicate: Callable[["Processor"], bool], max_cycles: int = 1_000_000) -> int:
+        """Step until *predicate(self)* or *max_cycles*; returns cycles used."""
+        start = self.counters.cycles
+        while not predicate(self) and self.counters.cycles - start < max_cycles:
+            self.step()
+        return self.counters.cycles - start
+
+    # ------------------------------------------------------------------
+    # hold evaluation (section 5.7)
+    # ------------------------------------------------------------------
+
+    def _check_hold(self, inst: MicroInstruction, task: int) -> bool:
+        ff = inst.ff
+        ff_is_function = not inst.bsel.is_constant
+
+        if inst.asel.starts_reference:
+            if ff_is_function and ff in (FF.IOFETCH, FF.IOSTORE):
+                if self.memory.storage_busy:
+                    return True
+
+        uses_md = inst.asel.uses_memdata or (
+            ff_is_function
+            and ff in (FF.SHIFT_MASKMD, FF.EXTB_MEMDATA, FF.OUTPUT_MD, FF.A_MD)
+        )
+        if uses_md and not self.memory.md_ready(task):
+            return True
+
+        if NextControl.kind(inst.nc) == NextType.MISC:
+            payload = NextControl.payload(inst.nc)
+            if Misc(payload >> 3) == Misc.NEXTMACRO and not self.ifu.dispatch_ready:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, inst: MicroInstruction, task: int, pc: int) -> Tuple[int, bool]:
+        regs = self.regs
+        ff = inst.ff
+        ff_is_function = not inst.bsel.is_constant
+        stack_op = inst.block and task == EMULATOR_TASK
+        consumed_ifu_operand = False
+        # Every MD use sees the value as of this instruction's operand
+        # fetch, even if the instruction also starts a new reference.
+        md_before = self.memory.read_md(task)
+
+        # --- operand reads (first half cycle), through the bypass network.
+        if stack_op:
+            rm_value = self.stack.read_top()
+        else:
+            rm_value = self._read_rm(task, inst.rsel)
+        t_value = self._read_t(task)
+
+        # --- B bus.
+        if inst.bsel.is_constant:
+            b_value = constant_value(inst.bsel, ff)
+        elif inst.bsel == BSel.RM:
+            b_value = rm_value
+        elif inst.bsel == BSel.T:
+            b_value = t_value
+        elif inst.bsel == BSel.Q:
+            b_value = regs.q
+        else:  # EXTB: FF names the external source.
+            b_value = self._read_extb(task, ff)
+            if ff == FF.EXTB_IFUDATA:
+                consumed_ifu_operand = True
+
+        # --- A bus (MEMADDRESS is a copy of A).
+        if ff_is_function and ff == FF.A_Q:
+            a_value = regs.q
+        elif ff_is_function and ff == FF.A_IFUDATA:
+            a_value = self.ifu.read_operand()
+            consumed_ifu_operand = True
+        elif ff_is_function and ff == FF.A_MD:
+            a_value = md_before
+        elif inst.asel in (ASel.RM, ASel.RM_FETCH, ASel.RM_STORE):
+            a_value = rm_value
+        elif inst.asel in (ASel.T, ASel.T_FETCH, ASel.T_STORE):
+            a_value = t_value
+        elif inst.asel == ASel.IFUDATA:
+            a_value = self.ifu.read_operand()
+            consumed_ifu_operand = True
+        else:  # MEMDATA
+            a_value = self.memory.read_md(task)
+
+        # Operand reads are done: the previous instruction's results (if
+        # any) land in the RAMs now -- writeback occupies the half cycle
+        # after the successor's operand fetch (Figure 2).
+        self._commit_pending()
+
+        # --- ALU (second half of this cycle + first half of the next).
+        alu_res = self.alu.run(inst.aluop, a_value, b_value, regs.saved_carry[task])
+        if alu_res.arithmetic:
+            regs.saved_carry[task] = alu_res.carry
+
+        # --- RESULT bus: ALU output unless an FF source overrides it.
+        result = alu_res.value
+        if ff_is_function:
+            override = self._result_override(
+                task, ff, rm_value, t_value, a_value, b_value, alu_res.value
+            )
+            if override is not None:
+                result = override
+
+        # --- memory reference start (address = A, store data = B).
+        if inst.asel.starts_reference:
+            self._start_reference(inst, task, a_value, b_value, ff_is_function)
+
+        # --- late branch condition (ORed into NEXTPC's low bit).
+        condition_taken = False
+        if NextControl.kind(inst.nc) == NextType.BRANCH:
+            condition_taken = self._evaluate_condition(
+                NextControl.branch_condition(inst.nc), task, alu_res, result
+            )
+
+        # --- FF side effects.
+        if ff_is_function:
+            self._apply_ff(inst, task, ff, b_value, a_value, result, md_before)
+
+        # --- NEXTPC.
+        next_result = self.control.compute(
+            inst, pc, task, condition_taken, b_value, ff_is_function
+        )
+        if next_result.outcome == NextOutcome.NEXT_MACRO:
+            if consumed_ifu_operand:
+                self.ifu.consume_operand()
+                consumed_ifu_operand = False
+            next_pc = self.ifu.take_dispatch()
+        else:
+            next_pc = next_result.target
+            if next_result.notify_console:
+                self.console.record_notify(pc)
+        if consumed_ifu_operand:
+            self.ifu.consume_operand()
+
+        # --- writeback: stage this instruction's result in the latch.
+        if stack_op:
+            self.stack.adjust(inst.stack_delta)
+            if inst.lc.loads_rm:
+                self.stack.write_top(result)
+            if inst.lc.loads_t:
+                self._pending[("t", task)] = result
+        else:
+            if inst.lc.loads_rm:
+                self._pending[("rm", regs.rm_address(task, inst.rsel))] = result
+            if inst.lc.loads_t:
+                self._pending[("t", task)] = result
+
+        blocked = inst.block and task != EMULATOR_TASK
+        return next_pc, blocked
+
+    # --- bypass (section 5.6) ---------------------------------------------
+
+    def _read_rm(self, task: int, rsel: int) -> int:
+        address = self.regs.rm_address(task, rsel)
+        if self.config.bypass_enabled:
+            pending = self._pending.get(("rm", address))
+            if pending is not None:
+                return pending
+        return self.regs.rm[address]
+
+    def _read_t(self, task: int) -> int:
+        if self.config.bypass_enabled:
+            pending = self._pending.get(("t", task))
+            if pending is not None:
+                return pending
+        return self.regs.read_t(task)
+
+    def _commit_pending(self) -> None:
+        for (space, key), value in self._pending.items():
+            if space == "rm":
+                self.regs.rm[key] = value
+            else:
+                self.regs.write_t(key, value)
+        self._pending = {}
+
+    # --- EXTB sources -----------------------------------------------------
+
+    def _read_extb(self, task: int, ff: int) -> int:
+        if ff == FF.INPUT:
+            device, offset = self._addressed_device(task)
+            self.counters.slowio_words_in += 1
+            return word(device.read_register(offset))
+        if ff == FF.EXTB_MEMDATA:
+            return self.memory.read_md(task)
+        if ff == FF.EXTB_IFUDATA:
+            return self.ifu.read_operand()
+        if ff == FF.EXTB_CPREG:
+            return self.console.cpreg
+        if ff == FF.EXTB_FAULTS:
+            return self._fault_word(clear=False)
+        if ff == FF.EXTB_LINK:
+            return word(self.control.read_link(task))
+        if ff == FF.EXTB_IFUPC:
+            return word(self.ifu.pc)
+        if ff == FF.EXTB_THISTASK:
+            return task
+        raise EncodingError(
+            f"BSelect=EXTB with FF {functions.describe(ff)} (not an EXTB selector)"
+        )
+
+    def _addressed_device(self, task: int):
+        address = self.regs.read_ioaddress(task)
+        device = self._device_by_address.get(address)
+        if device is None:
+            raise DeviceError(f"no device at IOADDRESS {address:#x} (task {task})")
+        return device, address - device.io_address
+
+    # --- RESULT overrides ----------------------------------------------------
+
+    def _result_override(
+        self,
+        task: int,
+        ff: int,
+        rm_value: int,
+        t_value: int,
+        a_value: int,
+        b_value: int,
+        alu_value: int,
+    ) -> Optional[int]:
+        if ff == FF.SHIFT_OUT:
+            return shift(ShiftControl.decode(self.regs.shiftctl), rm_value, t_value)
+        if ff == FF.SHIFT_MASKZ:
+            return shift_masked(
+                ShiftControl.decode(self.regs.shiftctl), rm_value, t_value, 0
+            )
+        if ff == FF.SHIFT_MASKMD:
+            return shift_masked(
+                ShiftControl.decode(self.regs.shiftctl),
+                rm_value,
+                t_value,
+                self.memory.read_md(task),
+            )
+        if ff == FF.READ_SHIFTCTL:
+            return self.regs.shiftctl
+        if ff == FF.RESULT_LSH:
+            return (alu_value << 1) & 0xFFFF
+        if ff == FF.RESULT_RSH:
+            return (alu_value >> 1) & 0xFFFF
+        if ff == FF.READ_COUNT:
+            return self.regs.count
+        if ff == FF.READ_RBASE:
+            return self.regs.read_rbase(task)
+        if ff == FF.READ_STACKPTR:
+            return self.stack.pointer
+        if ff == FF.READ_MEMBASE:
+            return self.regs.read_membase(task)
+        if ff == FF.READ_MAP:
+            va = self.memory.translator.virtual_address(
+                self.regs.read_membase(task), a_value
+            )
+            return self.memory.translator.map_read(va >> 8)
+        if ff == FF.READ_FAULTS:
+            return self._fault_word(clear=True)
+        if ff == FF.READ_IOADDRESS:
+            return self.regs.read_ioaddress(task)
+        if ff == FF.READ_TPC:
+            return self.pipe.read_tpc((b_value >> 12) & 0xF)
+        if ff == FF.IM_READ_LO:
+            return self.console.im_read(0, self.im)
+        if ff == FF.IM_READ_MID:
+            return self.console.im_read(1, self.im)
+        if ff == FF.IM_READ_HI:
+            return self.console.im_read(2, self.im)
+        return None
+
+    def _fault_word(self, clear: bool) -> int:
+        value = self.memory.read_faults(clear) | (
+            self.stack.error_flags() << FAULT_STACK_SHIFT
+        )
+        if clear:
+            self.stack.clear_errors()
+        return word(value)
+
+    # --- memory-reference start ----------------------------------------------
+
+    def _start_reference(
+        self,
+        inst: MicroInstruction,
+        task: int,
+        a_value: int,
+        b_value: int,
+        ff_is_function: bool,
+    ) -> None:
+        membase = self.regs.read_membase(task)
+        fast = ff_is_function and inst.ff in (FF.IOFETCH, FF.IOSTORE)
+        if fast:
+            port = self._device_by_task.get(task)
+            if port is None:
+                raise DeviceError(f"task {task} started fast I/O with no device attached")
+            if inst.ff == FF.IOFETCH:
+                if not inst.asel.starts_fetch:
+                    raise EncodingError("IOFETCH requires a Fetch ASelect")
+                ok = self.memory.start_fastio_fetch(task, membase, a_value, port)
+            else:
+                if not inst.asel.starts_store:
+                    raise EncodingError("IOSTORE requires a Store ASelect")
+                ok = self.memory.start_fastio_store(task, membase, a_value, port)
+        elif inst.asel.starts_fetch:
+            ok = self.memory.start_fetch(task, membase, a_value)
+        else:
+            ok = self.memory.start_store(task, membase, a_value, b_value)
+        assert ok, "reference start was pre-checked by _check_hold"
+
+    # --- branch conditions -------------------------------------------------------
+
+    def _evaluate_condition(
+        self, condition: Condition, task: int, alu_res, result: int
+    ) -> bool:
+        if condition == Condition.ALU_ZERO:
+            return alu_res.zero
+        if condition == Condition.ALU_NONZERO:
+            return not alu_res.zero
+        if condition == Condition.ALU_NEG:
+            return alu_res.negative
+        if condition == Condition.CARRY:
+            return alu_res.carry
+        if condition == Condition.COUNT_NONZERO:
+            taken = self.regs.count != 0
+            self.regs.decrement_count()  # side effect (section 6.3.3)
+            return taken
+        if condition == Condition.R_ODD:
+            return bool(result & 1)
+        if condition == Condition.IOATN:
+            device = self._device_by_address.get(self.regs.read_ioaddress(task))
+            return bool(device is not None and device.attention)
+        if condition == Condition.OVERFLOW:
+            return alu_res.overflow
+        raise EncodingError(f"unknown condition {condition!r}")
+
+    # --- FF side effects -----------------------------------------------------------
+
+    def _apply_ff(
+        self,
+        inst: MicroInstruction,
+        task: int,
+        ff: int,
+        b: int,
+        a: int,
+        result: int,
+        md_before: int,
+    ) -> None:
+        regs = self.regs
+
+        if ff == FF.NOP or ff in (FF.A_Q, FF.A_IFUDATA, FF.A_MD, FF.IOFETCH, FF.IOSTORE):
+            return
+        if functions.is_membase_small(ff):
+            regs.write_membase(task, functions.bank_argument(ff))
+            return
+        if functions.is_count_small(ff):
+            regs.write_count(functions.bank_argument(ff))
+            return
+        if functions.is_branch_pair(ff) or functions.is_jump_page(ff):
+            return  # consumed by the NEXTPC calculation
+
+        if ff == FF.SHIFTCTL_B:
+            regs.write_shiftctl(b)
+        elif ff == FF.Q_B:
+            regs.write_q(b)
+        elif ff == FF.MULSTEP:
+            self._multiply_step(task, inst.aluop, a)
+        elif ff == FF.DIVSTEP:
+            self._divide_step(task, inst.aluop, a)
+        elif ff == FF.COUNT_B:
+            regs.write_count(b)
+        elif ff == FF.RBASE_B:
+            regs.write_rbase(task, b)
+        elif ff == FF.STACKPTR_B:
+            self.stack.write_pointer(b)
+        elif ff == FF.MEMBASE_B:
+            regs.write_membase(task, b)
+        elif ff == FF.ALUFM_WRITE:
+            self.alu.write_alufm(inst.aluop, b)
+        elif ff == FF.BASE_LO_B:
+            self.memory.translator.write_base_low(regs.read_membase(task), b)
+        elif ff == FF.BASE_HI_B:
+            self.memory.translator.write_base_high(regs.read_membase(task), b)
+        elif ff == FF.MAP_WRITE:
+            va = self.memory.translator.virtual_address(regs.read_membase(task), a)
+            self.memory.translator.map_write(va >> 8, b)
+        elif ff == FF.CACHE_FLUSH:
+            self._cache_flush(task, a)
+        elif ff == FF.IOADDRESS_B:
+            regs.write_ioaddress(task, b)
+        elif ff == FF.OUTPUT:
+            device, offset = self._addressed_device(task)
+            device.write_register(offset, b)
+            self.counters.slowio_words_out += 1
+        elif ff == FF.OUTPUT_MD:
+            device, offset = self._addressed_device(task)
+            device.write_register(offset, md_before)
+            self.counters.slowio_words_out += 1
+        elif ff == FF.LINK_B:
+            self.control.write_link(task, b)
+        elif ff == FF.IFU_JUMP:
+            self.ifu.jump(result)
+        elif ff == FF.IFU_RESET:
+            self.ifu.reset()
+        elif ff == FF.CPREG_B:
+            self.console.cpreg = word(b)
+        elif ff == FF.WAKEUP_B:
+            self.pipe.set_wakeup_mask(b)
+        elif ff == FF.READY_B:
+            self.pipe.set_ready_mask(b)
+        elif ff == FF.BREAKPOINT:
+            raise MicrocodeCrash(f"breakpoint executed at {self.this_pc:#o} (task {task})")
+        elif ff == FF.TRACE:
+            self.console.record_trace(b)
+        elif ff == FF.HALT:
+            self.halted = True
+        elif ff == FF.IM_ADDR_B:
+            self.console.latch_im_address(b)
+        elif ff == FF.IM_WRITE_LO:
+            self.console.im_write_low(b)
+        elif ff == FF.IM_WRITE_MID:
+            self.console.im_write_mid(b)
+        elif ff == FF.IM_WRITE_HI:
+            self.console.im_write_high(b, self.im)
+        elif ff == FF.TPC_B:
+            self.pipe.write_tpc((b >> 12) & 0xF, b & 0xFFF)
+        elif ff in functions.RESULT_SOURCES or ff in functions.EXTB_SELECTORS:
+            pass  # handled at operand/result time
+        else:
+            raise EncodingError(f"unimplemented FF function {functions.describe(ff)}")
+
+    def _cache_flush(self, task: int, a_value: int) -> None:
+        translator = self.memory.translator
+        va = translator.virtual_address(self.regs.read_membase(task), a_value)
+        ra = translator.translate(va, write=False)
+        if ra is None:
+            return
+        flushed = self.memory.cache.flush_munch(ra)
+        if flushed is not None:
+            self.memory.storage.write_munch(ra, flushed)
+            self.counters.storage_writes += 1
+        self.memory.cache.invalidate_munch(ra)
+
+    # --- multiply/divide steps (section 6.3.3: Q) -----------------------------
+
+    def _multiply_step(self, task: int, aluop: int, a_value: int) -> None:
+        """One step of 16x16 multiply.
+
+        With the multiplicand on A and the running high partial product
+        reaching the ALU, the hardware conditionally adds (on Q's low
+        bit) and shifts RESULT:Q right one place.  Microcode runs 16 of
+        these; the product ends up high half in the accumulator
+        register, low half in Q.  The conditional add and the double
+        shift both happen here; the instruction's ALU result is ignored.
+        """
+        regs = self.regs
+        acc = self._read_t(task)  # convention: T holds the high partial product
+        if regs.q & 1:
+            total = acc + a_value
+        else:
+            total = acc
+        carry = (total >> 16) & 1
+        total &= 0xFFFF
+        new_q = ((total & 1) << 15) | (regs.q >> 1)
+        new_acc = (carry << 15) | (total >> 1)
+        regs.write_q(new_q)
+        self._pending[("t", task)] = word(new_acc)
+
+    def _divide_step(self, task: int, aluop: int, a_value: int) -> None:
+        """One non-restoring-free step of 32/16 divide.
+
+        T:Q holds the running remainder:quotient; A has the divisor.
+        Shift T:Q left; if the shifted remainder covers the divisor,
+        subtract and set the new quotient bit (Q's low bit).
+        """
+        regs = self.regs
+        rem = self._read_t(task)
+        q = regs.q
+        shifted = ((rem << 1) | (q >> 15)) & 0x1FFFF
+        q = (q << 1) & 0xFFFF
+        if shifted >= a_value:
+            shifted -= a_value
+            q |= 1
+        regs.write_q(q)
+        self._pending[("t", task)] = word(shifted)

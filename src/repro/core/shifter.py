@@ -1,0 +1,153 @@
+"""The 32-bit barrel shifter and masker (section 6.3.4).
+
+"The Dorado has a 32 bit barrel shifter for handling bit-aligned data.
+It takes 32 bits from RM and T, performs a left cycle of any number of
+bit positions, and places the result on RESULT.  The ALU output may be
+masked during a shift instruction, either with zeroes or with data from
+MEMDATA."
+
+SHIFTCTL packs the shift amount and the left/right mask widths::
+
+    bits  4..0   left-cycle amount (0..31)
+    bits  8..5   left mask width  (bits masked off at the high end)
+    bits 12..9   right mask width (bits masked off at the low end)
+
+A "shift" microoperation (FF ``SHIFT_OUT`` / ``SHIFT_MASKZ`` /
+``SHIFT_MASKMD``) left-cycles the 32-bit quantity ``RM:T`` and takes the
+high-order word of the result; with masking, positions outside the mask
+window come from zero or from MEMDATA.  :func:`field_control` computes
+the SHIFTCTL value that extracts an arbitrary bit field -- the setup the
+paper says is loaded "with values useful for field extraction".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EncodingError
+from ..types import WORD_MASK, ones_mask, rotate_left_32
+
+_AMOUNT_MASK = 0x1F
+_LMASK_SHIFT = 5
+_RMASK_SHIFT = 9
+_MASK_WIDTH_MASK = 0xF
+
+
+@dataclass(frozen=True)
+class ShiftControl:
+    """Decoded SHIFTCTL contents."""
+
+    amount: int = 0       #: left-cycle distance, 0..31
+    left_mask: int = 0    #: bits masked off at the high end, 0..15
+    right_mask: int = 0   #: bits masked off at the low end, 0..15
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.amount <= 31:
+            raise EncodingError(f"shift amount {self.amount} out of range 0..31")
+        if not 0 <= self.left_mask <= 15:
+            raise EncodingError(f"left mask {self.left_mask} out of range 0..15")
+        if not 0 <= self.right_mask <= 15:
+            raise EncodingError(f"right mask {self.right_mask} out of range 0..15")
+
+    def encode(self) -> int:
+        """Pack into the 16-bit SHIFTCTL register format."""
+        return (
+            self.amount
+            | (self.left_mask << _LMASK_SHIFT)
+            | (self.right_mask << _RMASK_SHIFT)
+        )
+
+    @staticmethod
+    def decode(value: int) -> "ShiftControl":
+        return ShiftControl(
+            amount=value & _AMOUNT_MASK,
+            left_mask=(value >> _LMASK_SHIFT) & _MASK_WIDTH_MASK,
+            right_mask=(value >> _RMASK_SHIFT) & _MASK_WIDTH_MASK,
+        )
+
+    @property
+    def mask(self) -> int:
+        """The window of result bits the shifter output occupies.
+
+        One bits where the (masked) shifter output appears; zero bits
+        are filled from the mask source (zero or MEMDATA).
+        """
+        window = ones_mask(16 - self.left_mask) & ~ones_mask(self.right_mask)
+        return window & WORD_MASK
+
+
+def shift(control: ShiftControl, rm: int, t: int) -> int:
+    """The raw shifter output: high word of ``rotl32(RM:T, amount)``."""
+    double = ((rm & WORD_MASK) << 16) | (t & WORD_MASK)
+    return (rotate_left_32(double, control.amount) >> 16) & WORD_MASK
+
+
+def shift_masked(control: ShiftControl, rm: int, t: int, fill: int) -> int:
+    """Shifter output with the mask window applied.
+
+    Bits inside the window come from the shifter; bits outside come
+    from *fill* (zero for ``SHIFT_MASKZ``, MEMDATA for ``SHIFT_MASKMD``
+    -- the latter is what lets BitBlt merge a shifted source into a
+    destination word in a single microinstruction).
+    """
+    window = control.mask
+    out = shift(control, rm, t)
+    return (out & window) | (fill & ~window & WORD_MASK)
+
+
+def field_control(position: int, width: int) -> ShiftControl:
+    """SHIFTCTL for extracting a *width*-bit field from an RM word.
+
+    *position* is the bit offset of the field's least significant bit
+    (0 = the word's LSB).  After ``SHIFT_MASKZ`` with this control on
+    ``RM:T`` where RM holds the word (and T is a don't-care), RESULT is
+    the field right-justified.
+    """
+    if width < 1 or width > 16:
+        raise EncodingError(f"field width {width} out of range 1..16")
+    if position < 0 or position + width > 16:
+        raise EncodingError(f"field at {position} width {width} does not fit in a word")
+    # RM occupies the high half of RM:T and the output is the high word
+    # of the rotated pair, so a left cycle by (32 - p) % 32 brings RM's
+    # bit p to the output LSB; mask off everything above the field.
+    return ShiftControl(
+        amount=(32 - position) % 32,
+        left_mask=16 - width,
+        right_mask=0,
+    )
+
+
+def insert_control(position: int, width: int) -> ShiftControl:
+    """SHIFTCTL for depositing a right-justified field into a word.
+
+    With RM holding the right-justified field, ``SHIFT_MASKMD`` with
+    this control left-cycles the field to *position* and fills every
+    other bit from MEMDATA -- a one-instruction read-modify-write of a
+    field, as used by the store-field byte codes and by BitBlt.
+    """
+    if width < 1 or width > 16:
+        raise EncodingError(f"field width {width} out of range 1..16")
+    if position < 0 or position + width > 16:
+        raise EncodingError(f"field at {position} width {width} does not fit in a word")
+    return ShiftControl(
+        amount=position,
+        left_mask=16 - width - position,
+        right_mask=position,
+    )
+
+
+def byte_swap_control() -> ShiftControl:
+    """SHIFTCTL that swaps the bytes of a word held in both RM and T.
+
+    A 16-bit byte swap is a rotate by 8 of the word itself, which the
+    32-bit left cycle performs when RM and T hold the same word (the
+    standard Dorado idiom for single-word rotates).
+    """
+    return ShiftControl(amount=8, left_mask=0, right_mask=0)
+
+
+def rotate_control(amount: int) -> ShiftControl:
+    """SHIFTCTL for a left rotate of a single word held in both RM and T."""
+    if not 0 <= amount <= 15:
+        raise EncodingError(f"word rotate amount {amount} out of range 0..15")
+    return ShiftControl(amount=amount, left_mask=0, right_mask=0)

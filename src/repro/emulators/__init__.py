@@ -1,0 +1,35 @@
+"""Byte-code emulators (section 7).
+
+"Four emulators have been implemented for the Dorado, interpreting the
+BCPL, Lisp, Mesa and Smalltalk instruction sets."  Each emulator here is
+(a) a byte-code instruction set with an IFU decode table, (b) microcode
+for every opcode, written in the :mod:`repro.asm` DSL and run on the
+simulated processor, and (c) a byte-code assembler plus workload
+programs.  The section 7 per-class microinstruction counts (E1) are
+measured from these emulators running real byte-code.
+"""
+
+from .compiler import compile_source, run_source
+from .lispc import compile_lisp, run_lisp
+from .stc import compile_smalltalk, run_smalltalk
+from .isa import BytecodeAssembler, EmulatorContext, build_machine
+from .mesa import build_mesa_machine
+from .lisp import build_lisp_machine
+from .bcpl import build_bcpl_machine
+from .smalltalk import build_smalltalk_machine
+
+__all__ = [
+    "BytecodeAssembler",
+    "EmulatorContext",
+    "build_bcpl_machine",
+    "build_lisp_machine",
+    "build_machine",
+    "build_mesa_machine",
+    "compile_lisp",
+    "compile_smalltalk",
+    "compile_source",
+    "run_lisp",
+    "run_smalltalk",
+    "run_source",
+    "build_smalltalk_machine",
+]

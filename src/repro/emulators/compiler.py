@@ -1,0 +1,438 @@
+"""A small procedural language compiled to Mesa byte codes.
+
+Section 3: "the Dorado is optimized for the execution of languages that
+are compiled into a stream of byte codes ... Such byte code compilers
+exist for Mesa, Interlisp and Smalltalk."  This module is a miniature of
+the Mesa side of that toolchain: a recursive-descent compiler from a
+C/Mesa-flavoured language onto the byte codes of
+:mod:`repro.emulators.mesa`, so workloads can be written as programs
+instead of hand-threaded opcode lists.
+
+The language::
+
+    proc fib(n) {
+        if n < 2 { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    proc main() {
+        trace(fib(12));
+    }
+
+* ``proc name(args) { ... }`` — functions; every call is a real
+  FC/ENTER/RET frame transfer.  ``main`` is the entry and ends in HALT.
+* ``var x = expr;`` declares a frame local (at most 14 per function,
+  the frame size the emulator allocates).
+* statements: assignment, ``while cond { }``, ``if cond { } else { }``,
+  ``return expr;``, expression statements, and the builtins
+  ``trace(e)`` (to the console trace buffer) and ``mem[e] = e`` /
+  ``mem[e]`` for raw memory access (AL/AS).
+* expressions: ``+ - * / %`` (the multiply and divide run the hardware
+  MULSTEP/DIVSTEP microcode), comparisons ``< > == !=``, unary ``-``
+  and ``!``, integer literals, calls.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import EmulatorError
+from .isa import BytecodeAssembler, EmulatorContext
+from .mesa import FRAME_SIZE, build_mesa_machine
+
+MAX_LOCALS = FRAME_SIZE - 2
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>0x[0-9a-fA-F]+|\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>==|!=|<=|>=|[-+*/%<>=!;,(){}\[\]]))"
+)
+_KEYWORDS = {"proc", "var", "while", "if", "else", "return", "trace", "mem"}
+
+
+class CompileError(EmulatorError):
+    """Source program rejected."""
+
+
+@dataclass
+class _Fn:
+    name: str
+    params: List[str]
+    body: list
+
+
+class _Tokenizer:
+    def __init__(self, source: str) -> None:
+        self.tokens: List[Tuple[str, str]] = []
+        position = 0
+        source = re.sub(r"#[^\n]*", "", source)  # comments
+        while position < len(source):
+            match = _TOKEN.match(source, position)
+            if not match or match.end() == position:
+                if source[position:].strip():
+                    raise CompileError(f"bad character at {source[position:position+10]!r}")
+                break
+            position = match.end()
+            if match.group("num"):
+                self.tokens.append(("num", match.group("num")))
+            elif match.group("name"):
+                kind = "kw" if match.group("name") in _KEYWORDS else "name"
+                self.tokens.append((kind, match.group("name")))
+            else:
+                self.tokens.append(("op", match.group("op")))
+        self.index = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.index >= len(self.tokens):
+            return ("eof", "")
+        return self.tokens[self.index]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        got_kind, got = self.next()
+        if got_kind != kind or (value is not None and got != value):
+            raise CompileError(f"expected {value or kind}, got {got!r}")
+        return got
+
+    def accept(self, kind: str, value: str) -> bool:
+        if self.peek() == (kind, value):
+            self.index += 1
+            return True
+        return False
+
+
+# --- parsing to a tiny AST (tuples) -------------------------------------------
+
+def _parse_program(tz: _Tokenizer) -> Dict[str, _Fn]:
+    functions: Dict[str, _Fn] = {}
+    while tz.peek()[0] != "eof":
+        tz.expect("kw", "proc")
+        name = tz.expect("name")
+        tz.expect("op", "(")
+        params = []
+        while not tz.accept("op", ")"):
+            if params:
+                tz.expect("op", ",")
+            params.append(tz.expect("name"))
+        body = _parse_block(tz)
+        if name in functions:
+            raise CompileError(f"proc {name!r} defined twice")
+        functions[name] = _Fn(name, params, body)
+    if "main" not in functions:
+        raise CompileError("no proc main()")
+    if functions["main"].params:
+        raise CompileError("main takes no parameters")
+    return functions
+
+
+def _parse_block(tz: _Tokenizer) -> list:
+    tz.expect("op", "{")
+    statements = []
+    while not tz.accept("op", "}"):
+        statements.append(_parse_statement(tz))
+    return statements
+
+
+def _parse_statement(tz: _Tokenizer):
+    kind, value = tz.peek()
+    if (kind, value) == ("kw", "var"):
+        tz.next()
+        name = tz.expect("name")
+        init = None
+        if tz.accept("op", "="):
+            init = _parse_expression(tz)
+        tz.expect("op", ";")
+        return ("var", name, init)
+    if (kind, value) == ("kw", "while"):
+        tz.next()
+        condition = _parse_expression(tz)
+        return ("while", condition, _parse_block(tz))
+    if (kind, value) == ("kw", "if"):
+        tz.next()
+        condition = _parse_expression(tz)
+        then_block = _parse_block(tz)
+        else_block = _parse_block(tz) if tz.accept("kw", "else") else []
+        return ("if", condition, then_block, else_block)
+    if (kind, value) == ("kw", "return"):
+        tz.next()
+        expr = None if tz.peek() == ("op", ";") else _parse_expression(tz)
+        tz.expect("op", ";")
+        return ("return", expr)
+    if (kind, value) == ("kw", "trace"):
+        tz.next()
+        tz.expect("op", "(")
+        expr = _parse_expression(tz)
+        tz.expect("op", ")")
+        tz.expect("op", ";")
+        return ("trace", expr)
+    if (kind, value) == ("kw", "mem"):
+        tz.next()
+        tz.expect("op", "[")
+        address = _parse_expression(tz)
+        tz.expect("op", "]")
+        tz.expect("op", "=")
+        rhs = _parse_expression(tz)
+        tz.expect("op", ";")
+        return ("memstore", address, rhs)
+    if kind == "name":
+        # assignment or expression statement
+        save = tz.index
+        name = tz.next()[1]
+        if tz.accept("op", "="):
+            rhs = _parse_expression(tz)
+            tz.expect("op", ";")
+            return ("assign", name, rhs)
+        tz.index = save
+    expr = _parse_expression(tz)
+    tz.expect("op", ";")
+    return ("expr", expr)
+
+
+def _parse_expression(tz: _Tokenizer):
+    left = _parse_additive(tz)
+    kind, value = tz.peek()
+    if (kind, value) in [("op", o) for o in ("<", ">", "==", "!=")]:
+        tz.next()
+        right = _parse_additive(tz)
+        return ("cmp", value, left, right)
+    return left
+
+
+def _parse_additive(tz: _Tokenizer):
+    left = _parse_term(tz)
+    while tz.peek() in (("op", "+"), ("op", "-")):
+        op = tz.next()[1]
+        left = ("bin", op, left, _parse_term(tz))
+    return left
+
+
+def _parse_term(tz: _Tokenizer):
+    left = _parse_factor(tz)
+    while tz.peek() in (("op", "*"), ("op", "/"), ("op", "%")):
+        op = tz.next()[1]
+        left = ("bin", op, left, _parse_factor(tz))
+    return left
+
+
+def _parse_factor(tz: _Tokenizer):
+    kind, value = tz.next()
+    if kind == "num":
+        return ("lit", int(value, 0))
+    if (kind, value) == ("op", "-"):
+        return ("neg", _parse_factor(tz))
+    if (kind, value) == ("op", "!"):
+        return ("not", _parse_factor(tz))
+    if (kind, value) == ("op", "("):
+        expr = _parse_expression(tz)
+        tz.expect("op", ")")
+        return expr
+    if (kind, value) == ("kw", "mem"):
+        tz.expect("op", "[")
+        address = _parse_expression(tz)
+        tz.expect("op", "]")
+        return ("memload", address)
+    if kind == "name":
+        if tz.accept("op", "("):
+            args = []
+            while not tz.accept("op", ")"):
+                if args:
+                    tz.expect("op", ",")
+                args.append(_parse_expression(tz))
+            return ("call", value, args)
+        return ("var", value)
+    raise CompileError(f"unexpected token {value!r}")
+
+
+# --- code generation -----------------------------------------------------------
+
+_BINOPS = {"+": "ADD", "-": "SUB", "*": "MUL", "/": "DIV", "%": "MOD"}
+
+
+class _FnCompiler:
+    def __init__(self, fn: _Fn, functions: Dict[str, _Fn], out: BytecodeAssembler) -> None:
+        self.fn = fn
+        self.functions = functions
+        self.out = out
+        self.locals: Dict[str, int] = {}
+        self.label_count = 0
+        for param in fn.params:
+            self._declare(param)
+
+    def _declare(self, name: str) -> int:
+        if name in self.locals:
+            raise CompileError(f"{self.fn.name}: {name!r} declared twice")
+        if len(self.locals) >= MAX_LOCALS:
+            raise CompileError(f"{self.fn.name}: more than {MAX_LOCALS} locals")
+        self.locals[name] = len(self.locals)
+        return self.locals[name]
+
+    def _slot(self, name: str) -> int:
+        try:
+            return self.locals[name]
+        except KeyError:
+            raise CompileError(f"{self.fn.name}: undeclared variable {name!r}") from None
+
+    def _label(self, hint: str) -> str:
+        self.label_count += 1
+        return f"{self.fn.name}.{hint}{self.label_count}"
+
+    def emit_function(self) -> None:
+        out = self.out
+        out.label(self.fn.name)
+        if self.fn.params:
+            out.op("ENTER", len(self.fn.params))
+        else:
+            out.op("ENTER0")
+        self._block(self.fn.body)
+        # Implicit return (value 0) / halt for main.
+        if self.fn.name == "main":
+            out.op("HALT")
+        else:
+            out.op("LIT", 0)
+            out.op("RET")
+
+    def _block(self, statements: list) -> None:
+        for statement in statements:
+            self._statement(statement)
+
+    def _statement(self, statement) -> None:
+        out = self.out
+        kind = statement[0]
+        if kind == "var":
+            _, name, init = statement
+            slot = self._declare(name)
+            if init is not None:
+                self._expression(init)
+                out.op("SL", slot)
+        elif kind == "assign":
+            _, name, rhs = statement
+            self._expression(rhs)
+            out.op("SL", self._slot(name))
+        elif kind == "while":
+            _, condition, body = statement
+            top, end = self._label("while"), self._label("endwhile")
+            out.label(top)
+            self._expression(condition)
+            out.op("JZ", end)
+            self._block(body)
+            out.op("JMP", top)
+            out.label(end)
+        elif kind == "if":
+            _, condition, then_block, else_block = statement
+            other, end = self._label("else"), self._label("endif")
+            self._expression(condition)
+            out.op("JZ", other)
+            self._block(then_block)
+            out.op("JMP", end)
+            out.label(other)
+            self._block(else_block)
+            out.label(end)
+        elif kind == "return":
+            _, expr = statement
+            if self.fn.name == "main":
+                raise CompileError("main cannot return; use trace()")
+            if expr is None:
+                out.op("LIT", 0)
+            else:
+                self._expression(expr)
+            out.op("RET")
+        elif kind == "trace":
+            self._expression(statement[1])
+            out.op("TRACEB")
+        elif kind == "memstore":
+            _, address, rhs = statement
+            out.op("LIT", 0)  # AL/AS take (base, index): base 0, index = addr
+            self._expression(address)
+            self._expression(rhs)
+            out.op("AS")
+        elif kind == "expr":
+            self._expression(statement[1])
+            out.op("DROP")
+        else:
+            raise CompileError(f"unknown statement {kind!r}")
+
+    def _expression(self, expr) -> None:
+        out = self.out
+        kind = expr[0]
+        if kind == "lit":
+            value = expr[1] & 0xFFFF
+            if value <= 0xFF:
+                out.op("LIT", value)
+            else:
+                out.op("LITW", value)
+        elif kind == "var":
+            out.op("LL", self._slot(expr[1]))
+        elif kind == "neg":
+            self._expression(expr[1])
+            out.op("NEG")
+        elif kind == "not":
+            self._expression(expr[1])
+            out.op("LIT", 0)
+            out.op("EQ")
+        elif kind == "bin":
+            _, op, left, right = expr
+            self._expression(left)
+            self._expression(right)
+            out.op(_BINOPS[op])
+        elif kind == "cmp":
+            _, op, left, right = expr
+            if op == ">":
+                self._expression(right)
+                self._expression(left)
+                out.op("LT")
+            elif op == "<":
+                self._expression(left)
+                self._expression(right)
+                out.op("LT")
+            else:
+                self._expression(left)
+                self._expression(right)
+                out.op("EQ")
+                if op == "!=":
+                    out.op("LIT", 0)
+                    out.op("EQ")
+        elif kind == "memload":
+            out.op("LIT", 0)
+            self._expression(expr[1])
+            out.op("AL")
+        elif kind == "call":
+            _, name, args = expr
+            target = self.functions.get(name)
+            if target is None:
+                raise CompileError(f"call to unknown proc {name!r}")
+            if len(args) != len(target.params):
+                raise CompileError(
+                    f"{name} takes {len(target.params)} args, got {len(args)}"
+                )
+            for arg in args:
+                self._expression(arg)
+            out.op("FC", name)
+        else:
+            raise CompileError(f"unknown expression {kind!r}")
+
+
+def compile_source(source: str, out: BytecodeAssembler) -> None:
+    """Compile *source* into *out*; ``main`` is emitted first (entry 0)."""
+    functions = _parse_program(_Tokenizer(source))
+    ordered = ["main"] + [n for n in functions if n != "main"]
+    for name in ordered:
+        _FnCompiler(functions[name], functions, out).emit_function()
+
+
+def run_source(source: str, max_cycles: int = 5_000_000) -> EmulatorContext:
+    """Compile, load, and run a program on a fresh Mesa machine.
+
+    The traced values are in ``ctx.cpu.console.trace``.
+    """
+    ctx = build_mesa_machine()
+    out = BytecodeAssembler(ctx.table)
+    compile_source(source, out)
+    ctx.load_program(out.assemble())
+    ctx.run(max_cycles)
+    if not ctx.halted:
+        raise EmulatorError("compiled program did not halt")
+    return ctx

@@ -1,0 +1,165 @@
+"""Shared emulator infrastructure.
+
+:class:`BytecodeAssembler` turns symbolic macro programs into the byte
+streams the IFU decodes; :func:`build_machine` assembles an emulator's
+microcode, loads the decode table into the IFU, initializes the task-0
+registers (the console's job on the real machine), and returns an
+:class:`EmulatorContext` ready to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..asm.assembler import Assembler
+from ..config import MachineConfig, PRODUCTION
+from ..core.processor import Processor
+from ..errors import EmulatorError
+from ..ifu.decoder import DecodeTable, OperandKind
+from ..types import word
+
+
+class BytecodeAssembler:
+    """Assembles symbolic byte-code against a :class:`DecodeTable`.
+
+    Operands may be integers or label strings; labels resolve to byte
+    addresses and are only legal in WORD operands (absolute targets).
+    """
+
+    def __init__(self, table: DecodeTable) -> None:
+        self.table = table
+        self._bytes: List[Union[int, Tuple[str, str]]] = []  # int or (label, "hi"/"lo")
+        self._labels: Dict[str, int] = {}
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise EmulatorError(f"byte-code label {name!r} defined twice")
+        self._labels[name] = len(self._bytes)
+
+    @property
+    def here(self) -> int:
+        """Current byte address."""
+        return len(self._bytes)
+
+    def op(self, name: str, *operands: Union[int, str]) -> None:
+        """Emit one macroinstruction."""
+        opcode = self.table.opcode(name)
+        entry = self.table.entry(opcode)
+        kind = entry.operands
+        self._bytes.append(opcode)
+        expected = 0 if kind is OperandKind.NONE else (2 if kind is OperandKind.PAIR else 1)
+        if kind is OperandKind.WORD:
+            expected = 1
+        if len(operands) != expected:
+            raise EmulatorError(
+                f"{name} takes {expected} operand(s) ({kind.value}), got {len(operands)}"
+            )
+        if kind is OperandKind.NONE:
+            return
+        if kind is OperandKind.WORD:
+            value = operands[0]
+            if isinstance(value, str):
+                self._bytes.append((value, "hi"))
+                self._bytes.append((value, "lo"))
+            else:
+                self._bytes.append((value >> 8) & 0xFF)
+                self._bytes.append(value & 0xFF)
+            return
+        for value in operands:
+            if isinstance(value, str):
+                raise EmulatorError(f"{name}: labels are only legal in WORD operands")
+            if not -128 <= value <= 255:
+                raise EmulatorError(f"{name}: operand {value} does not fit in a byte")
+            self._bytes.append(value & 0xFF)
+
+    def assemble(self) -> List[int]:
+        """Resolve labels; returns the byte stream."""
+        out: List[int] = []
+        for item in self._bytes:
+            if isinstance(item, tuple):
+                name, half = item
+                if name not in self._labels:
+                    raise EmulatorError(f"undefined byte-code label {name!r}")
+                address = self._labels[name]
+                out.append((address >> 8) & 0xFF if half == "hi" else address & 0xFF)
+            else:
+                out.append(item)
+        return out
+
+    def address_of(self, name: str) -> int:
+        return self._labels[name]
+
+    @staticmethod
+    def pack_words(stream: Sequence[int]) -> List[int]:
+        """Pack a byte stream into big-endian 16-bit words."""
+        padded = list(stream) + [0] * (len(stream) % 2)
+        return [word((padded[i] << 8) | padded[i + 1]) for i in range(0, len(padded), 2)]
+
+
+@dataclass
+class EmulatorContext:
+    """A booted emulator: the machine plus its layout conventions."""
+
+    cpu: Processor
+    table: DecodeTable
+    isa_name: str
+    code_va: int
+    init: Callable[["EmulatorContext"], None]
+
+    def load_program(self, stream: Sequence[int], entry_byte: int = 0) -> None:
+        """Load a byte stream at the code origin and point the IFU at it."""
+        words = BytecodeAssembler.pack_words(stream)
+        self.cpu.memory.storage.load(self.code_va, words)
+        self.init(self)
+        self.cpu.ifu.start(entry_byte)
+
+    def run(self, max_cycles: int = 2_000_000) -> int:
+        """Run until the HALT byte code; returns cycles used."""
+        return self.cpu.run(max_cycles)
+
+    @property
+    def halted(self) -> bool:
+        return self.cpu.halted
+
+    def memory_word(self, va: int) -> int:
+        return self.cpu.memory.debug_read(va)
+
+    def set_memory_word(self, va: int, value: int) -> None:
+        self.cpu.memory.debug_write(va, value)
+
+
+def build_machine(
+    isa_name: str,
+    table: DecodeTable,
+    emit_microcode: Callable[[Assembler], None],
+    init: Callable[[EmulatorContext], None],
+    code_va: int,
+    config: MachineConfig = PRODUCTION,
+    extra_microcode: Sequence[Callable[[Assembler], None]] = (),
+    mapped_pages: int = 1024,
+) -> EmulatorContext:
+    """Assemble, load, and initialize an emulator machine.
+
+    *emit_microcode* writes the emulator's handlers; *init* performs the
+    console-style register setup (base registers, MEMBASE, RM contents);
+    *extra_microcode* adds device tasks' code to the same control store.
+    """
+    asm = Assembler(config)
+    asm.label(f"{isa_name}.boot")
+    asm.emit(nextmacro=True)
+    emit_microcode(asm)
+    for extra in extra_microcode:
+        extra(asm)
+    image = asm.assemble()
+
+    cpu = Processor(config)
+    cpu.load_image(image)
+    cpu.memory.identity_map(mapped_pages)
+
+    dispatch = {label: image.address_of(label) for label in table.dispatch_labels()}
+    cpu.ifu.load_table(table, dispatch)
+    cpu.boot(image.address_of(f"{isa_name}.boot"))
+    return EmulatorContext(
+        cpu=cpu, table=table, isa_name=isa_name, code_va=code_va, init=init
+    )

@@ -1,0 +1,285 @@
+"""A miniature Interlisp compiler onto the Lisp byte codes.
+
+The paper's Lisp numbers come from Deutsch's byte-compiled Interlisp
+(reference [2]); this is a toy of the same species: S-expressions
+compiled to the :mod:`repro.emulators.lisp` byte codes, with every
+variable a deep-bound symbol and every call a CALLL/BIND/RETL frame.
+
+Supported forms::
+
+    (defun name (params...) body...)
+    (setq sym expr)            ; also an expression (returns the value)
+    (if test then [else])      ; only NIL is false, as in Lisp
+    (progn e1 e2 ...)
+    (trace expr)               ; value word to the console trace buffer
+    (+ a b) (- a b)            ; 16-bit integer arithmetic, tag-checked
+    (car e) (cdr e) (cons a b) (rplaca p v) (rplacd p v)
+    (null e) (atom e) (zerop e) (eq a b)   ; predicates return 1 or NIL
+    (f args...)                ; user function call
+    numbers, nil, symbols
+
+Top-level non-defun forms run in order; the last HALTL stops the
+machine.  ``run_lisp`` compiles and executes one program.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import EmulatorError
+from .isa import BytecodeAssembler, EmulatorContext
+from .lisp import TAG_INT, build_lisp_machine, define_function, symbol_operand
+
+Sexp = Union[int, str, list]
+
+
+class LispCompileError(EmulatorError):
+    """Source program rejected."""
+
+
+# --- reader --------------------------------------------------------------
+
+_TOKENS = re.compile(r"\(|\)|[^\s()]+")
+
+
+def read_program(source: str) -> List[Sexp]:
+    source = re.sub(r";[^\n]*", "", source)
+    tokens = _TOKENS.findall(source)
+    forms: List[Sexp] = []
+    index = 0
+
+    def read() -> Sexp:
+        nonlocal index
+        if index >= len(tokens):
+            raise LispCompileError("unexpected end of input")
+        token = tokens[index]
+        index += 1
+        if token == "(":
+            items = []
+            while True:
+                if index >= len(tokens):
+                    raise LispCompileError("unbalanced parentheses")
+                if tokens[index] == ")":
+                    index += 1
+                    return items
+                items.append(read())
+        if token == ")":
+            raise LispCompileError("unexpected )")
+        if re.fullmatch(r"-?\d+|0x[0-9a-fA-F]+", token):
+            return int(token, 0)
+        return token.lower()
+
+    while index < len(tokens):
+        forms.append(read())
+    return forms
+
+
+# --- compiler --------------------------------------------------------------
+
+class LispCompiler:
+    """Compiles a program; symbols are assigned indices on first use."""
+
+    def __init__(self, out: BytecodeAssembler) -> None:
+        self.out = out
+        self.symbols: Dict[str, int] = {}
+        self.functions: Dict[str, Tuple[str, int]] = {}  # name -> (label, arity)
+        self.label_count = 0
+
+    def symbol_index(self, name: str) -> int:
+        if name not in self.symbols:
+            if len(self.symbols) >= 60:
+                raise LispCompileError("more than 60 symbols")
+            self.symbols[name] = len(self.symbols)
+        return self.symbols[name]
+
+    def _label(self, hint: str) -> str:
+        self.label_count += 1
+        return f"L{self.label_count}_{hint}"
+
+    # Every compiled expression leaves exactly one item on the stack.
+
+    def compile_program(self, forms: List[Sexp]) -> None:
+        defuns = [f for f in forms if isinstance(f, list) and f and f[0] == "defun"]
+        toplevel = [f for f in forms if not (isinstance(f, list) and f and f[0] == "defun")]
+        for form in defuns:
+            self._declare_defun(form)
+        for form in toplevel:
+            self.expr(form)
+            self.out.op("DROPL")
+        self.out.op("HALTL")
+        for form in defuns:
+            self._compile_defun(form)
+
+    def _declare_defun(self, form: Sexp) -> None:
+        if len(form) < 4 or not isinstance(form[1], str) or not isinstance(form[2], list):
+            raise LispCompileError(f"malformed defun: {form!r}")
+        name = form[1]
+        if name in self.functions:
+            raise LispCompileError(f"defun {name!r} twice")
+        self.functions[name] = (self._label(f"fn_{name}"), len(form[2]))
+        self.symbol_index(name)  # the function cell's symbol
+
+    def _compile_defun(self, form: Sexp) -> None:
+        name, params, body = form[1], form[2], form[3:]
+        label, _ = self.functions[name]
+        self.out.label(label)
+        # Arguments were pushed left to right; BIND pops right to left.
+        for param in reversed(params):
+            if not isinstance(param, str):
+                raise LispCompileError(f"bad parameter {param!r}")
+            self.out.op("BIND", symbol_operand(self.symbol_index(param)))
+        for statement in body[:-1]:
+            self.expr(statement)
+            self.out.op("DROPL")
+        self.expr(body[-1])
+        self.out.op("RETL")
+
+    def expr(self, form: Sexp) -> None:
+        out = self.out
+        if isinstance(form, int):
+            out.op("LIN", form & 0xFFFF)
+            return
+        if isinstance(form, str):
+            if form == "nil":
+                out.op("NILP")
+                return
+            out.op("LLV", symbol_operand(self.symbol_index(form)))
+            return
+        if not form:
+            out.op("NILP")
+            return
+        head = form[0]
+        if head == "quote":
+            raise LispCompileError("quote of structure is not supported; build with cons")
+        if head == "setq":
+            _, name, value = form
+            self.expr(value)
+            index = self.symbol_index(name)
+            out.op("SLV", symbol_operand(index))
+            out.op("LLV", symbol_operand(index))  # setq yields the value
+            return
+        if head == "progn":
+            if len(form) == 1:
+                out.op("NILP")
+                return
+            for statement in form[1:-1]:
+                self.expr(statement)
+                out.op("DROPL")
+            self.expr(form[-1])
+            return
+        if head == "if":
+            if len(form) not in (3, 4):
+                raise LispCompileError(f"malformed if: {form!r}")
+            else_label, end_label = self._label("else"), self._label("endif")
+            self.expr(form[1])
+            out.op("JNIL", else_label)
+            self.expr(form[2])
+            out.op("JMPL", end_label)
+            out.label(else_label)
+            if len(form) == 4:
+                self.expr(form[3])
+            else:
+                out.op("NILP")
+            out.label(end_label)
+            return
+        if head == "trace":
+            self.expr(form[1])
+            out.op("TRACEL")
+            out.op("NILP")  # keep the one-value invariant
+            return
+        simple = {"+": "ADDL", "-": "SUBL", "cons": "CONS",
+                  "rplaca": "RPLACA", "rplacd": "RPLACD"}
+        if head in simple:
+            self._nargs(form, 2)
+            self.expr(form[1])
+            self.expr(form[2])
+            out.op(simple[head])
+            return
+        if head in ("car", "cdr"):
+            self._nargs(form, 1)
+            self.expr(form[1])
+            out.op(head.upper())
+            return
+        if head == "null":
+            self._nargs(form, 1)
+            true_label, end_label = self._label("nullt"), self._label("nullend")
+            self.expr(form[1])
+            out.op("JNIL", true_label)
+            out.op("NILP")
+            out.op("JMPL", end_label)
+            out.label(true_label)
+            out.op("LIN", 1)
+            out.label(end_label)
+            return
+        if head == "atom":
+            self._nargs(form, 1)
+            false_label, end_label = self._label("atomf"), self._label("atomend")
+            self.expr(form[1])
+            out.op("ATOM")        # integer 1/0
+            out.op("JZL", false_label)
+            out.op("LIN", 1)
+            out.op("JMPL", end_label)
+            out.label(false_label)
+            out.op("NILP")
+            out.label(end_label)
+            return
+        if head == "zerop":
+            self._nargs(form, 1)
+            true_label, end_label = self._label("zt"), self._label("zend")
+            self.expr(form[1])
+            out.op("JZL", true_label)
+            out.op("NILP")
+            out.op("JMPL", end_label)
+            out.label(true_label)
+            out.op("LIN", 1)
+            out.label(end_label)
+            return
+        if head == "eq":
+            self._nargs(form, 2)
+            true_label, end_label = self._label("eqt"), self._label("eqend")
+            self.expr(form[1])
+            self.expr(form[2])
+            out.op("SUBL")
+            out.op("JZL", true_label)
+            out.op("NILP")
+            out.op("JMPL", end_label)
+            out.label(true_label)
+            out.op("LIN", 1)
+            out.label(end_label)
+            return
+        # User function call.
+        if not isinstance(head, str) or head not in self.functions:
+            raise LispCompileError(f"unknown form {head!r}")
+        label, arity = self.functions[head]
+        if len(form) - 1 != arity:
+            raise LispCompileError(f"{head} takes {arity} args, got {len(form) - 1}")
+        for argument in form[1:]:
+            self.expr(argument)
+        out.op("CALLL", symbol_operand(self.symbol_index(head)))
+        return
+
+    def _nargs(self, form: Sexp, n: int) -> None:
+        if len(form) - 1 != n:
+            raise LispCompileError(f"{form[0]} takes {n} args, got {len(form) - 1}")
+
+
+def compile_lisp(source: str, out: BytecodeAssembler) -> LispCompiler:
+    """Compile *source* into *out*; returns the compiler (symbol table)."""
+    compiler = LispCompiler(out)
+    compiler.compile_program(read_program(source))
+    return compiler
+
+
+def run_lisp(source: str, max_cycles: int = 10_000_000) -> EmulatorContext:
+    """Compile, install function cells, and run on a fresh Lisp machine."""
+    ctx = build_lisp_machine()
+    out = BytecodeAssembler(ctx.table)
+    compiler = compile_lisp(source, out)
+    ctx.load_program(out.assemble())
+    for name, (label, _) in compiler.functions.items():
+        define_function(ctx, compiler.symbols[name], out.address_of(label))
+    ctx.run(max_cycles)
+    if not ctx.halted:
+        raise EmulatorError("compiled Lisp program did not halt")
+    return ctx

@@ -1,0 +1,386 @@
+"""The Mesa emulator (sections 3 and 7).
+
+Mesa is the 16-bit stack byte-code the Dorado was optimized for: "The
+Mesa opcode set can move a 16 bit word to or from memory in one
+microinstruction" -- here, literally: ``SL`` is a single
+microinstruction (the IFU operand drives MEMADDRESS through the
+MDS/locals base register while the popped stack top rides B to memory),
+and ``LL`` is two.  "Most checking is done at compile time", so the
+microcode does none.
+
+Conventions:
+
+* the **eval stack** is hardware stack 0 (section 6.3.3);
+* **locals** live in a frame; base register 1 tracks the current
+  frame's locals, so LL/SL displacements come straight from IFUDATA;
+* **globals** sit behind base register 2; absolute pointers (RF/WF/AL)
+  use base register 0 (identity);
+* frames are fixed-size (16 words: saved FP, return PC, 14 locals) in a
+  frame stack; FC/ENTER/RET implement the call discipline with a
+  frame-overflow check.
+
+Per-class microinstruction counts (measured by ``repro.perf``): LL 2,
+SL 1, literals 1, binops 2, field reads 6 (+2 for the SETF that loads
+SHIFTCTL), field writes 7 (+2), call+enter+return ~= 25+n -- the paper's
+"one or two", "five to ten", and tens-for-calls shape.
+"""
+
+from __future__ import annotations
+
+from ..asm.assembler import Assembler
+from ..config import MachineConfig, PRODUCTION
+from ..core.functions import FF
+from ..core.shifter import ShiftControl, field_control, insert_control
+from ..ifu.decoder import DecodeEntry, DecodeTable, OperandKind
+from .isa import EmulatorContext, build_machine
+
+# --- memory layout (word addresses) -------------------------------------
+CODE_VA = 0x0000
+GLOBALS_VA = 0x3000
+FRAMES_VA = 0x4000
+FRAMES_LIMIT = 0x5000
+FRAME_SIZE = 16  #: saved FP, return PC, 14 locals
+
+# --- base-register allocation ---------------------------------------------
+MB_ABS = 0     #: identity (code + absolute pointers)
+MB_LOCAL = 1   #: current frame's locals
+MB_GLOBAL = 2  #: the global frame
+
+# --- task-0 RM register allocation (bank 0) ----------------------------------
+REG_FP = 0    #: current frame base (absolute VA)
+REG_LP = 1    #: current locals base (absolute VA, = FP + 2)
+REG_C16 = 2   #: the constant FRAME_SIZE
+REG_FLIM = 3  #: frame-stack limit for the overflow check
+REG_TMP = 4   #: scratch
+REG_TMP2 = 5  #: second scratch (field-write address)
+
+
+def field_spec(position: int, width: int) -> int:
+    """The SETF operand that extracts a field (compiler helper)."""
+    return field_control(position, width).encode()
+
+
+def insert_spec(position: int, width: int) -> int:
+    """The SETF operand that deposits a field (for WF)."""
+    return insert_control(position, width).encode()
+
+
+def shl_spec(amount: int) -> int:
+    """SETF operand for a logical left shift (used before SHIFT)."""
+    return ShiftControl(amount=amount, left_mask=0,
+                        right_mask=amount).encode()
+
+
+def shr_spec(amount: int) -> int:
+    """SETF operand for a logical right shift."""
+    if amount == 0:
+        return ShiftControl(amount=0).encode()
+    return ShiftControl(amount=16 - amount, left_mask=amount,
+                        right_mask=0).encode()
+
+
+def rot_spec(amount: int) -> int:
+    """SETF operand for a left rotate."""
+    return ShiftControl(amount=amount).encode()
+
+
+def build_decode_table() -> DecodeTable:
+    table = DecodeTable("mesa")
+    B, SB, W, P, N = (
+        OperandKind.BYTE,
+        OperandKind.SIGNED_BYTE,
+        OperandKind.WORD,
+        OperandKind.PAIR,
+        OperandKind.NONE,
+    )
+    ops = [
+        (0x00, "NOP", "mes.op.nop", N),
+        (0x01, "LIT", "mes.op.lit", B),
+        (0x02, "LITW", "mes.op.lit", W),   # same handler: push IFUDATA
+        (0x10, "LL", "mes.op.ll", B),
+        (0x11, "SL", "mes.op.sl", B),
+        (0x12, "LG", "mes.op.lg", B),
+        (0x13, "SG", "mes.op.sg", B),
+        (0x20, "ADD", "mes.op.add", N),
+        (0x21, "SUB", "mes.op.sub", N),
+        (0x22, "AND", "mes.op.and", N),
+        (0x23, "OR", "mes.op.or", N),
+        (0x24, "XOR", "mes.op.xor", N),
+        (0x25, "INC", "mes.op.inc", N),
+        (0x26, "NEG", "mes.op.neg", N),
+        (0x27, "NOT", "mes.op.not", N),
+        (0x28, "DUP", "mes.op.dup", N),
+        (0x29, "DROP", "mes.op.drop", N),
+        (0x30, "JMP", "mes.op.jmp", W),
+        (0x31, "JZ", "mes.op.jz", W),
+        (0x32, "JNZ", "mes.op.jnz", W),
+        (0x34, "JNEG", "mes.op.jneg", W),
+        (0x2A, "MUL", "mes.op.mul", N),
+        (0x2B, "DIV", "mes.op.div", N),
+        (0x2C, "MOD", "mes.op.mod", N),
+        (0x2D, "LT", "mes.op.lt", N),
+        (0x2E, "EQ", "mes.op.eq", N),
+        (0x36, "SHIFT", "mes.op.shift", N),
+        (0x38, "SETF", "mes.op.setf", W),
+        (0x40, "RF", "mes.op.rf", B),
+        (0x41, "WF", "mes.op.wf", B),
+        (0x42, "AL", "mes.op.al", N),
+        (0x43, "AS", "mes.op.as", N),
+        (0x50, "FC", "mes.op.fc", W),
+        (0x51, "ENTER", "mes.op.enter", B),
+        (0x52, "ENTER0", "mes.op.enter0", N),
+        (0x53, "RET", "mes.op.ret", N),
+        (0x60, "TRACEB", "mes.op.traceb", N),
+        (0xFF, "HALT", "mes.op.halt", N),
+    ]
+    for opcode, name, dispatch, kind in ops:
+        table.define(opcode, DecodeEntry(name, dispatch, kind))
+    return table
+
+
+def emit_microcode(asm: Assembler) -> None:
+    """The Mesa emulator's microcode (task 0)."""
+    asm.registers(
+        {"mes.fp": REG_FP, "mes.lp": REG_LP, "mes.c16": REG_C16,
+         "mes.flim": REG_FLIM, "mes.tmp": REG_TMP, "mes.tmp2": REG_TMP2}
+    )
+
+    asm.label("mes.op.nop")
+    asm.emit(nextmacro=True)
+
+    # Literals: push the IFU operand in one microinstruction.
+    asm.label("mes.op.lit")
+    asm.emit(stack=1, a="IFUDATA", alu="A", load="RM", nextmacro=True)
+
+    # LL n: Fetch(locals base + n); push MEMDATA.  Two microinstructions.
+    asm.label("mes.op.ll")
+    asm.emit(fetch=True, a="IFUDATA")
+    asm.emit(stack=1, a="MD", alu="A", load="RM", nextmacro=True)
+
+    # SL n: pop straight to memory -- ONE microinstruction ("can move a
+    # 16 bit word to or from memory in one microinstruction").
+    asm.label("mes.op.sl")
+    asm.emit(stack=-1, store=True, a="IFUDATA", b="RM", nextmacro=True)
+
+    # Globals: same shapes bracketed by MEMBASE switches.
+    asm.label("mes.op.lg")
+    asm.emit(membase=MB_GLOBAL)
+    asm.emit(fetch=True, a="IFUDATA")
+    asm.emit(stack=1, a="MD", alu="A", load="RM", membase=MB_LOCAL, nextmacro=True)
+
+    asm.label("mes.op.sg")
+    asm.emit(membase=MB_GLOBAL)
+    asm.emit(stack=-1, store=True, a="IFUDATA", b="RM")
+    asm.emit(membase=MB_LOCAL, nextmacro=True)
+
+    # Binary operations: pop to T, combine with the new top in place.
+    for name, aluop in [
+        ("add", "ADD"), ("sub", "SUB"), ("and", "AND"), ("or", "OR"), ("xor", "XOR")
+    ]:
+        asm.label(f"mes.op.{name}")
+        asm.emit(stack=-1, b="RM", alu="B", load="T")
+        asm.emit(stack=0, a="RM", b="T", alu=aluop, load="RM", nextmacro=True)
+
+    asm.label("mes.op.inc")
+    asm.emit(stack=0, a="RM", alu="INC", load="RM", nextmacro=True)
+    asm.label("mes.op.neg")
+    asm.emit(stack=0, a="RM", b=0, alu="RSUB", load="RM", nextmacro=True)
+    asm.label("mes.op.not")
+    asm.emit(stack=0, b="RM", alu="NOTB", load="RM", nextmacro=True)
+    asm.label("mes.op.dup")
+    asm.emit(stack=1, a="RM", alu="A", load="RM", nextmacro=True)
+    asm.label("mes.op.drop")
+    asm.emit(stack=-1, nextmacro=True)
+
+    # Jumps: the IFU is redirected and the next dispatch holds while its
+    # buffer refills -- the taken-branch penalty.
+    asm.label("mes.op.jmp")
+    asm.emit(a="IFUDATA", alu="A", ff=FF.IFU_JUMP)
+    asm.emit(nextmacro=True)  # holds while the IFU refills: the branch penalty
+
+    for name, cond in [("jz", "ZERO"), ("jnz", "NONZERO"), ("jneg", "NEG")]:
+        asm.label(f"mes.op.{name}")
+        asm.emit(stack=-1, b="RM", alu="B", load="T")
+        asm.emit(a="T", alu="A", branch=(cond, f"mes.{name}_t", f"mes.{name}_f"))
+        asm.label(f"mes.{name}_t")
+        asm.emit(a="IFUDATA", alu="A", ff=FF.IFU_JUMP)
+        asm.emit(nextmacro=True)
+        asm.label(f"mes.{name}_f")
+        asm.emit(nextmacro=True)
+
+    # MUL: sixteen hardware multiply steps (section 6.3.3's Q register);
+    # pushes the low 16 bits of the product.
+    asm.label("mes.op.mul")
+    asm.emit(stack=-1, b="RM", alu="B", load="T")       # multiplier
+    asm.emit(b="T", ff=FF.Q_B)
+    asm.emit(stack=-1, b="RM", alu="B", load="T")       # multiplicand
+    asm.emit(r="mes.tmp", b="T", alu="B", load="RM")
+    asm.emit(b=0, alu="B", load="T")                    # clear accumulator
+    for _ in range(16):
+        asm.emit(r="mes.tmp", a="RM", ff=FF.MULSTEP)
+    asm.emit(stack=1, a="Q", alu="A", load="RM", nextmacro=True)
+
+    # DIV / MOD: sixteen divide steps; quotient in Q, remainder in T.
+    for name, push_q in [("div", True), ("mod", False)]:
+        asm.label(f"mes.op.{name}")
+        asm.emit(stack=-1, b="RM", alu="B", load="T")   # divisor
+        asm.emit(r="mes.tmp", b="T", alu="B", load="RM")
+        asm.emit(stack=-1, b="RM", alu="B", load="T")   # dividend
+        asm.emit(b="T", ff=FF.Q_B)
+        asm.emit(b=0, alu="B", load="T")                # remainder = 0
+        for _ in range(16):
+            asm.emit(r="mes.tmp", a="RM", ff=FF.DIVSTEP)
+        if push_q:
+            asm.emit(stack=1, a="Q", alu="A", load="RM", nextmacro=True)
+        else:
+            asm.emit(stack=1, a="T", alu="A", load="RM", nextmacro=True)
+
+    # Comparisons: pop two, push a boolean.
+    for name, cond in [("lt", "NEG"), ("eq", "ZERO")]:
+        asm.label(f"mes.op.{name}")
+        asm.emit(stack=-1, b="RM", alu="B", load="T")   # rhs
+        asm.emit(stack=-1, a="RM", b="T", alu="SUB",
+                 branch=(cond, f"mes.{name}_t", f"mes.{name}_f"))
+        asm.label(f"mes.{name}_t")
+        asm.emit(stack=1, b=1, alu="B", load="RM", nextmacro=True)
+        asm.label(f"mes.{name}_f")
+        asm.emit(stack=1, b=0, alu="B", load="RM", nextmacro=True)
+
+    # SHIFT: run the top of stack through the shifter under the current
+    # SHIFTCTL (see shl_spec/shr_spec/rot_spec).
+    asm.label("mes.op.shift")
+    asm.emit(stack=-1, b="RM", alu="B", load="T")
+    asm.emit(r="mes.tmp", b="T", alu="B", load="RM")
+    asm.emit(r="mes.tmp", ff=FF.SHIFT_MASKZ, load="T")
+    asm.emit(stack=1, a="T", alu="A", load="RM", nextmacro=True)
+
+    # SETF: load SHIFTCTL with a compiler-computed field control word.
+    asm.label("mes.op.setf")
+    asm.emit(a="IFUDATA", alu="A", load="T")
+    asm.emit(b="T", ff=FF.SHIFTCTL_B, nextmacro=True)
+
+    # RF off: pop pointer, fetch word, extract the SHIFTCTL field, push.
+    asm.label("mes.op.rf")
+    asm.emit(stack=-1, b="RM", alu="B", load="T", membase=MB_ABS)
+    asm.emit(a="IFUDATA", b="T", alu="ADD", load="T")
+    asm.emit(a="T", fetch=True)
+    asm.emit(r="mes.tmp", a="MD", alu="A", load="RM")
+    asm.emit(r="mes.tmp", ff=FF.SHIFT_MASKZ, load="T")
+    asm.emit(stack=1, a="T", alu="A", load="RM", membase=MB_LOCAL, nextmacro=True)
+
+    # WF off: pop pointer then value (stack: value below, pointer on
+    # top), merge the field into the fetched word (SHIFT_MASKMD: mask
+    # fill from MEMDATA), store it back.
+    asm.label("mes.op.wf")
+    asm.emit(stack=-1, b="RM", alu="B", load="T", membase=MB_ABS)   # pointer
+    asm.emit(a="IFUDATA", b="T", alu="ADD", load="T")
+    asm.emit(r="mes.tmp2", b="T", alu="B", load="RM")               # address
+    asm.emit(stack=-1, b="RM", alu="B", load="T")                   # value
+    asm.emit(r="mes.tmp", b="T", alu="B", load="RM")
+    asm.emit(r="mes.tmp2", a="RM", fetch=True)                      # old word
+    asm.emit(r="mes.tmp", ff=FF.SHIFT_MASKMD, load="RM")            # merged
+    asm.emit(r="mes.tmp2", b="RM", alu="B", load="T")
+    asm.emit(r="mes.tmp", b="RM", a="T", store=True, membase=MB_LOCAL,
+             nextmacro=True)
+
+    # AL: pop index and base, push M[base+index].
+    asm.label("mes.op.al")
+    asm.emit(stack=-1, b="RM", alu="B", load="T", membase=MB_ABS)
+    asm.emit(stack=-1, a="RM", b="T", alu="ADD", load="T")
+    asm.emit(a="T", fetch=True)
+    asm.emit(stack=1, a="MD", alu="A", load="RM", membase=MB_LOCAL, nextmacro=True)
+
+    # AS: pop value, index, base; M[base+index] <- value.
+    asm.label("mes.op.as")
+    asm.emit(stack=-1, b="RM", alu="B", load="T", membase=MB_ABS)
+    asm.emit(r="mes.tmp", b="T", alu="B", load="RM")
+    asm.emit(stack=-1, b="RM", alu="B", load="T")
+    asm.emit(stack=-1, a="RM", b="T", alu="ADD", load="T")
+    asm.emit(r="mes.tmp", b="RM", a="T", store=True, membase=MB_LOCAL, nextmacro=True)
+
+    # FC entry: allocate the next frame, save FP and the return PC,
+    # retarget the locals base register, and redirect the IFU.
+    asm.label("mes.op.fc")
+    asm.emit(r="mes.c16", b="RM", alu="B", load="T", membase=MB_ABS)
+    asm.emit(r="mes.fp", a="RM", b="T", alu="ADD", load="T")
+    asm.emit(r="mes.flim", a="RM", b="T", alu="SUB",
+             branch=("NEG", "mes.fc_trap", "mes.fc_ok"))
+    asm.label("mes.fc_ok")
+    asm.emit(r="mes.fp", b="RM", a="T", store=True)        # newf[0] <- old FP
+    asm.emit(a="T", alu="INC", load="T")
+    asm.emit(b="IFUPC", a="T", store=True)                  # newf[1] <- return PC
+    asm.emit(r="mes.fp", a="T", alu="DEC", load="RM")       # FP <- newf
+    asm.emit(a="T", alu="INC", load="T")                    # T <- locals VA
+    asm.emit(r="mes.lp", b="T", alu="B", load="RM", membase=MB_LOCAL)
+    asm.emit(b="T", ff=FF.BASE_LO_B)                        # base[LOCAL] <- locals VA
+    asm.emit(a="IFUDATA", alu="A", ff=FF.IFU_JUMP)
+    asm.emit(nextmacro=True)
+    asm.label("mes.fc_trap")
+    asm.emit(ff=FF.BREAKPOINT, idle=True)
+
+    # ENTER n: copy n arguments from the eval stack into locals n-1..0.
+    asm.label("mes.op.enter")
+    asm.emit(a="IFUDATA", alu="A", load="T", membase=MB_ABS)
+    asm.emit(a="T", alu="DEC", load="T")
+    asm.emit(r="mes.lp", a="RM", b="T", alu="ADD", load="T", ff=FF.COUNT_B)
+    asm.label("mes.enter_loop")
+    asm.emit(stack=-1, b="RM", a="T", store=True, alu="DEC", load="T",
+             branch=("COUNT", "mes.enter_loop", "mes.enter_done"))
+    asm.label("mes.enter_done")
+    asm.emit(membase=MB_LOCAL, nextmacro=True)
+
+    asm.label("mes.op.enter0")
+    asm.emit(nextmacro=True)
+
+    # RET: restore FP, the locals base, and the caller's PC.
+    asm.label("mes.op.ret")
+    asm.emit(r="mes.fp", b="RM", alu="B", load="T", membase=MB_ABS)
+    asm.emit(a="T", fetch=True)                              # old FP
+    asm.emit(a="T", alu="INC", load="T")
+    asm.emit(r="mes.fp", a="T", fetch=True, b="MD", alu="B", load="RM")  # FP<-old; fetch ret PC
+    asm.emit(r="mes.fp", a="RM", alu="INC", load="T")
+    asm.emit(a="T", alu="INC", load="T")                     # T <- locals VA
+    asm.emit(r="mes.lp", b="T", alu="B", load="RM", membase=MB_LOCAL)
+    asm.emit(b="T", ff=FF.BASE_LO_B)
+    asm.emit(a="MD", alu="A", ff=FF.IFU_JUMP)
+    asm.emit(nextmacro=True)
+
+    # TRACEB: pop the top of stack to the console trace buffer (the
+    # simulator's output channel; real Mesa wrote to the display).
+    asm.label("mes.op.traceb")
+    asm.emit(stack=-1, b="RM", alu="B", load="T")
+    asm.emit(b="T", ff=FF.TRACE, nextmacro=True)
+
+    asm.label("mes.op.halt")
+    asm.emit(ff=FF.HALT, idle=True)
+
+
+def _init(ctx: EmulatorContext) -> None:
+    """Console-style setup of the Mesa world."""
+    cpu = ctx.cpu
+    cpu.regs.write_rbase(0, 0)
+    cpu.regs.write_membase(0, MB_LOCAL)
+    translator = cpu.memory.translator
+    translator.write_base_low(MB_ABS, 0)
+    translator.write_base_low(MB_LOCAL, FRAMES_VA + 2)
+    translator.write_base_low(MB_GLOBAL, GLOBALS_VA)
+    cpu.regs.write_rm_absolute(REG_FP, FRAMES_VA)
+    cpu.regs.write_rm_absolute(REG_LP, FRAMES_VA + 2)
+    cpu.regs.write_rm_absolute(REG_C16, FRAME_SIZE)
+    cpu.regs.write_rm_absolute(REG_FLIM, FRAMES_LIMIT - FRAME_SIZE)
+    cpu.stack.select_stack(0)
+
+
+def build_mesa_machine(
+    config: MachineConfig = PRODUCTION, extra_microcode=()
+) -> EmulatorContext:
+    """A booted Dorado running the Mesa emulator."""
+    return build_machine(
+        "mes",
+        build_decode_table(),
+        emit_microcode,
+        _init,
+        CODE_VA,
+        config=config,
+        extra_microcode=extra_microcode,
+    )

@@ -1,0 +1,383 @@
+"""A miniature Smalltalk compiler onto the Smalltalk byte codes.
+
+Completes the section 3 trio ("such byte code compilers exist for Mesa,
+Interlisp and Smalltalk"): class definitions with keyword methods
+compile to :mod:`repro.emulators.smalltalk` byte codes, with every send
+a real method-dictionary lookup (and superclass walk) in microcode.
+
+The language::
+
+    class Counter [
+        | count |
+        bump: n  [ count := count + n. ^self ]
+        value: _ [ ^count ]
+    ]
+
+    class Doubler extends Counter [
+        bump: n  [ count := count + n + n. ^self ]
+    ]
+
+    main [
+        c := new Counter.
+        c bump: 5.
+        c bump: 7.
+        trace: (c value: 0).
+    ]
+
+* every message takes exactly one keyword argument (the emulator's
+  SEND1 shape); the parameter is read with PUSHA from the activation
+  frame, so it can appear anywhere in the method;
+* ``^expr`` returns; a method falling off its end returns ``self``;
+* instance variables are declared with ``| a b |`` and inherited;
+* ``main`` globals bind with ``name := new ClassName.`` or an integer
+  literal; ``trace: expr.`` writes the console trace buffer;
+* expressions: integers, ivars/parameters/globals, ``self``,
+  ``+``/``-``, parentheses, and keyword sends ``receiver kw: arg``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import EmulatorError
+from .isa import BytecodeAssembler, EmulatorContext
+from .smalltalk import ObjectMemory, build_smalltalk_machine, ivar_operand
+
+
+class SmalltalkCompileError(EmulatorError):
+    """Source program rejected."""
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<kw>[A-Za-z_][A-Za-z_0-9]*:)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)|(?P<op>\^|:=|[-+().\[\]|]))"
+)
+
+
+class _Tok:
+    def __init__(self, source: str) -> None:
+        source = re.sub(r'"[^"]*"', "", source)  # Smalltalk comments
+        self.tokens: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(source):
+            match = _TOKEN.match(source, position)
+            if not match or match.end() == position:
+                if source[position:].strip():
+                    raise SmalltalkCompileError(
+                        f"bad character near {source[position:position+10]!r}")
+                break
+            position = match.end()
+            for kind in ("num", "kw", "name", "op"):
+                if match.group(kind):
+                    self.tokens.append((kind, match.group(kind)))
+                    break
+        self.index = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else ("eof", "")
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        got_kind, got = self.next()
+        if got_kind != kind or (value is not None and got != value):
+            raise SmalltalkCompileError(f"expected {value or kind}, got {got!r}")
+        return got
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        got_kind, got = self.peek()
+        if got_kind == kind and (value is None or got == value):
+            self.index += 1
+            return True
+        return False
+
+
+@dataclass
+class _Method:
+    selector: str
+    parameter: str
+    body: list
+
+
+@dataclass
+class _Class:
+    name: str
+    superclass: Optional[str]
+    ivars: List[str]
+    methods: List[_Method] = field(default_factory=list)
+
+
+@dataclass
+class _Program:
+    classes: Dict[str, _Class]
+    main: list
+
+
+# --- parsing ------------------------------------------------------------------
+
+def _parse(source: str) -> _Program:
+    tz = _Tok(source)
+    classes: Dict[str, _Class] = {}
+    main: Optional[list] = None
+    while tz.peek()[0] != "eof":
+        kind, value = tz.next()
+        if (kind, value) == ("name", "class"):
+            name = tz.expect("name")
+            superclass = None
+            if tz.accept("name", "extends"):
+                superclass = tz.expect("name")
+            tz.expect("op", "[")
+            ivars: List[str] = []
+            if tz.accept("op", "|"):
+                while not tz.accept("op", "|"):
+                    ivars.append(tz.expect("name"))
+            cls = _Class(name, superclass, ivars)
+            while not tz.accept("op", "]"):
+                selector = tz.expect("kw")[:-1]
+                parameter = tz.expect("name")
+                tz.expect("op", "[")
+                cls.methods.append(_Method(selector, parameter, _parse_statements(tz)))
+            if name in classes:
+                raise SmalltalkCompileError(f"class {name} defined twice")
+            classes[name] = cls
+        elif (kind, value) == ("name", "main"):
+            tz.expect("op", "[")
+            main = _parse_statements(tz)
+        else:
+            raise SmalltalkCompileError(f"expected class or main, got {value!r}")
+    if main is None:
+        raise SmalltalkCompileError("no main block")
+    return _Program(classes, main)
+
+
+def _parse_statements(tz: _Tok) -> list:
+    statements = []
+    while not tz.accept("op", "]"):
+        statements.append(_parse_statement(tz))
+        tz.accept("op", ".")
+    return statements
+
+
+def _parse_statement(tz: _Tok):
+    if tz.accept("op", "^"):
+        return ("return", _parse_expression(tz))
+    if tz.peek() == ("kw", "trace:"):
+        tz.next()
+        return ("trace", _parse_expression(tz))
+    save = tz.index
+    kind, name = tz.peek()
+    if kind == "name":
+        tz.next()
+        if tz.accept("op", ":="):
+            return ("assign", name, _parse_expression(tz))
+        tz.index = save
+    return ("expr", _parse_expression(tz))
+
+
+def _parse_expression(tz: _Tok):
+    left = _parse_binary(tz)
+    if tz.peek()[0] == "kw":
+        selector = tz.next()[1][:-1]
+        argument = _parse_binary(tz)
+        return ("send", selector, left, argument)
+    return left
+
+
+def _parse_binary(tz: _Tok):
+    left = _parse_primary(tz)
+    while tz.peek() in (("op", "+"), ("op", "-")):
+        op = tz.next()[1]
+        left = ("bin", op, left, _parse_primary(tz))
+    return left
+
+
+def _parse_primary(tz: _Tok):
+    kind, value = tz.next()
+    if kind == "num":
+        return ("lit", int(value))
+    if (kind, value) == ("op", "("):
+        expr = _parse_expression(tz)
+        tz.expect("op", ")")
+        return expr
+    if (kind, value) == ("name", "self"):
+        return ("self",)
+    if (kind, value) == ("name", "new"):
+        return ("new", tz.expect("name"))
+    if kind == "name":
+        return ("var", value)
+    raise SmalltalkCompileError(f"unexpected token {value!r}")
+
+
+# --- compilation --------------------------------------------------------------
+
+class CompiledSmalltalk:
+    """A compiled program; :meth:`run` binds it to a fresh machine."""
+
+    def __init__(self, program: _Program) -> None:
+        self.program = program
+        self.ivar_layout: Dict[str, List[str]] = {
+            name: self._layout(name, frozenset()) for name in program.classes
+        }
+        self.globals: Dict[str, int] = {}
+        self.object_memory: Optional[ObjectMemory] = None
+
+    def _layout(self, name: str, seen) -> List[str]:
+        if name in seen:
+            raise SmalltalkCompileError(f"inheritance cycle at {name}")
+        cls = self.program.classes.get(name)
+        if cls is None:
+            raise SmalltalkCompileError(f"unknown superclass {name!r}")
+        inherited = (
+            self._layout(cls.superclass, seen | {name}) if cls.superclass else []
+        )
+        for ivar in cls.ivars:
+            if ivar in inherited:
+                raise SmalltalkCompileError(
+                    f"{name}: ivar {ivar!r} shadows a superclass ivar")
+        return inherited + cls.ivars
+
+    def run(self, max_cycles: int = 10_000_000) -> EmulatorContext:
+        ctx = build_smalltalk_machine()
+        om = ObjectMemory(ctx)
+        out = BytecodeAssembler(ctx.table)
+        selectors: Dict[str, int] = {}
+
+        def selector_id(name: str) -> int:
+            if name not in selectors:
+                selectors[name] = 16 + len(selectors)
+            return selectors[name]
+
+        # Class objects first (method entries patched after assembly).
+        class_oops: Dict[str, int] = {}
+        for name, cls in self.program.classes.items():
+            class_oops[name] = om.make_class(
+                {selector_id(m.selector): 0 for m in cls.methods}, superclass=0
+            )
+        for name, cls in self.program.classes.items():
+            if cls.superclass:
+                ctx.set_memory_word(class_oops[name], class_oops[cls.superclass])
+
+        # main globals: bound before code generation so PUSHC can inline
+        # their oops (the host is the allocator, as on the real machine).
+        globals_map: Dict[str, int] = {}
+        script: list = []
+        for statement in self.program.main:
+            if statement[0] == "assign" and statement[2][0] == "new":
+                class_name = statement[2][1]
+                if class_name not in class_oops:
+                    raise SmalltalkCompileError(f"unknown class {class_name!r}")
+                globals_map[statement[1]] = om.make_instance(
+                    class_oops[class_name],
+                    [0] * len(self.ivar_layout[class_name]),
+                )
+            elif statement[0] == "assign" and statement[2][0] == "lit":
+                globals_map[statement[1]] = statement[2][1] & 0xFFFF
+            elif statement[0] == "assign":
+                raise SmalltalkCompileError(
+                    "main globals bind only to 'new ClassName' or literals")
+            else:
+                script.append(statement)
+
+        def expression(expr, env) -> None:
+            kind = expr[0]
+            if kind == "lit":
+                out.op("PUSHC", expr[1] & 0xFFFF)
+            elif kind == "self":
+                if env is None:
+                    raise SmalltalkCompileError("self outside a method")
+                out.op("PUSHR")
+            elif kind == "new":
+                raise SmalltalkCompileError(
+                    "'new' is only legal in a main global binding")
+            elif kind == "var":
+                name = expr[1]
+                if env is not None:
+                    if name == env["parameter"]:
+                        out.op("PUSHA")
+                        return
+                    if name in env["ivars"]:
+                        out.op("PUSHIV", ivar_operand(env["ivars"].index(name)))
+                        return
+                    raise SmalltalkCompileError(f"unknown variable {name!r}")
+                if name not in globals_map:
+                    raise SmalltalkCompileError(f"unbound global {name!r}")
+                out.op("PUSHC", globals_map[name])
+            elif kind == "bin":
+                _, op, left, right = expr
+                expression(left, env)
+                expression(right, env)
+                out.op("ADDS" if op == "+" else "SUBS")
+            elif kind == "send":
+                _, selector, receiver, argument = expr
+                expression(receiver, env)
+                expression(argument, env)
+                out.op("SEND1", selector_id(selector))
+            else:
+                raise SmalltalkCompileError(f"unknown expression {kind!r}")
+
+        def body(statements, env) -> None:
+            for statement in statements:
+                tag = statement[0]
+                if tag == "return":
+                    if env is None:
+                        raise SmalltalkCompileError("^ outside a method")
+                    expression(statement[1], env)
+                    out.op("RETS")
+                elif tag == "trace":
+                    expression(statement[1], env)
+                    out.op("TRACES")
+                elif tag == "assign":
+                    name = statement[1]
+                    if env is None or name not in env["ivars"]:
+                        raise SmalltalkCompileError(
+                            f"assignment target {name!r} is not an ivar")
+                    expression(statement[2], env)
+                    out.op("STIV", ivar_operand(env["ivars"].index(name)))
+                else:
+                    expression(statement[1], env)
+                    out.op("DROPS")
+
+        body(script, None)
+        out.op("HALTS")
+
+        method_labels: Dict[Tuple[str, str], str] = {}
+        for name, cls in self.program.classes.items():
+            for method in cls.methods:
+                label = f"{name}_{method.selector}"
+                method_labels[(name, method.selector)] = label
+                out.label(label)
+                env = {"parameter": method.parameter,
+                       "ivars": self.ivar_layout[name]}
+                body(method.body, env)
+                out.op("PUSHR")   # implicit ^self
+                out.op("RETS")
+
+        ctx.load_program(out.assemble())
+        for (class_name, selector), label in method_labels.items():
+            om.set_method(class_oops[class_name], selector_id(selector),
+                          out.address_of(label))
+
+        self.globals = globals_map
+        self.object_memory = om
+        self.class_oops = class_oops
+        ctx.run(max_cycles)
+        if not ctx.halted:
+            raise EmulatorError("compiled Smalltalk program did not halt")
+        return ctx
+
+
+def compile_smalltalk(source: str) -> CompiledSmalltalk:
+    """Parse and check *source*; run with :meth:`CompiledSmalltalk.run`."""
+    return CompiledSmalltalk(_parse(source))
+
+
+def run_smalltalk(source: str, max_cycles: int = 10_000_000):
+    """Compile and run; returns (ctx, compiled) for inspection."""
+    compiled = compile_smalltalk(source)
+    ctx = compiled.run(max_cycles)
+    return ctx, compiled

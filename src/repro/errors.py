@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Dorado simulator.
+
+Every error raised by the package derives from :class:`DoradoError`, so
+callers can catch the whole family with one clause.  Microcode-visible
+hardware conditions (stack overflow, page faults) are *not* Python
+exceptions at run time -- the hardware latches them and microcode tests
+them -- but building or configuring the machine incorrectly raises one
+of these.
+"""
+
+from __future__ import annotations
+
+
+class DoradoError(Exception):
+    """Base class for all errors raised by the simulator."""
+
+
+class EncodingError(DoradoError):
+    """A microinstruction field was given a value that does not fit."""
+
+
+class AssemblyError(DoradoError):
+    """The microassembler rejected a program (bad label, FF conflict, ...)."""
+
+
+class PlacementError(AssemblyError):
+    """The instruction placer could not satisfy the page constraints."""
+
+
+class ConfigError(DoradoError):
+    """A :class:`~repro.config.MachineConfig` value is out of range."""
+
+
+class MicrocodeCrash(DoradoError):
+    """Microcode executed an explicit breakpoint/crash function.
+
+    The hardware analogue is the console microcomputer halting the
+    machine; simulations raise this so tests fail loudly instead of
+    spinning.
+    """
+
+
+class DeviceError(DoradoError):
+    """An I/O device model was used inconsistently."""
+
+
+class EmulatorError(DoradoError):
+    """A byte-code program or emulator image is malformed."""

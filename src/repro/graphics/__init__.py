@@ -1,0 +1,17 @@
+"""Bitmaps and BitBlt (section 7, reference [9] for RasterOp).
+
+"A special operation called BitBlt (bit boundary block transfer) makes
+it easier to create and update bitmaps ... BitBlt makes extensive use of
+the shifting/masking capability of the processor."
+"""
+
+from .bitmap import Bitmap
+from .bitblt import BitBltFunction, bitblt_microcode, build_bitblt_machine, run_bitblt
+
+__all__ = [
+    "Bitmap",
+    "BitBltFunction",
+    "bitblt_microcode",
+    "build_bitblt_machine",
+    "run_bitblt",
+]

@@ -1,0 +1,325 @@
+"""BitBlt microcode (section 7) and its host-side runner.
+
+"The Dorado's BitBlt can move display objects around in memory at 34
+megabits/sec for simple cases like erasing or scrolling a screen.  More
+complex operations, where the result is a function of the source
+object, the destination object and a filter, run at 24 megabits/sec."
+
+Three inner loops, all driven per destination word with the loop count
+in COUNT (decrement-and-branch in the same microinstruction):
+
+``bb.copy``
+    The scrolling/moving loop: a one-word window of source words runs
+    through the 32-bit shifter (``SHIFT_OUT`` of ``prev:cur``), handling
+    arbitrary bit alignment.  Seven microinstructions plus one memory
+    hold per word -- 8 cycles, or ~33 Mbit/s at 60 ns: the paper's
+    "simple case".
+``bb.func``
+    The same window, merged with the fetched destination through the
+    ALU (dst <- shifted-src XOR dst).  Nine microinstructions plus two
+    holds -- 11 cycles/word, ~24 Mbit/s: the paper's "complex" case.
+``bb.fill``
+    Pure erase: one store-decrement-branch microinstruction per word.
+    Faster than anything the paper quotes (the real BitBlt always ran
+    its general setup); included as the simulator's upper bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from ..asm.assembler import Assembler
+from ..config import MachineConfig, PRODUCTION
+from ..core.functions import FF
+from ..core.processor import Processor
+from ..core.shifter import ShiftControl
+from ..errors import DoradoError
+from ..types import WORD_BITS, word
+
+# Task-0 RM register allocation (bank 0).
+REG_SP = 0     #: source word pointer
+REG_DP = 1     #: destination word pointer
+REG_CUR = 2    #: current source word
+REG_PREV = 3   #: previous source word (shifter window high half)
+REG_ROWS = 4   #: rows remaining
+REG_SADV = 5   #: source advance at end of row
+REG_DADV = 6   #: destination advance at end of row
+REG_WCNT = 7   #: words per row - 1 (reloaded into COUNT each row)
+REG_VAL = 8    #: fill value
+REG_FMASK = 9  #: first-word pixel mask (1 bits take the new value)
+REG_LMASK = 10  #: last-word pixel mask
+
+
+class BitBltFunction(enum.Enum):
+    """Which inner loop to run."""
+
+    COPY = "bb.copy"  #: dst <- shifted src (move/scroll)
+    XOR = "bb.func"   #: dst <- shifted src XOR dst (function of src and dst)
+    FILL = "bb.fill"  #: dst <- constant (erase), whole words
+    FILLM = "bb.fillm"  #: masked fill: pixel-granularity rectangle edges
+
+
+def bitblt_microcode(asm: Assembler) -> None:
+    """Emit the three BitBlt loops into *asm*."""
+    asm.registers(
+        {
+            "bb.sp": REG_SP, "bb.dp": REG_DP, "bb.c": REG_CUR, "bb.p": REG_PREV,
+            "bb.rows": REG_ROWS, "bb.sadv": REG_SADV, "bb.dadv": REG_DADV,
+            "bb.wcnt": REG_WCNT, "bb.val": REG_VAL,
+        }
+    )
+
+    # --- shifted copy ------------------------------------------------------
+    asm.label("bb.copy")
+    asm.emit(r="bb.sp", a="RM", fetch=True, alu="INC", load="RM")   # prime prev
+    asm.emit(r="bb.p", a="MD", alu="A", load="RM")
+    asm.emit(r="bb.wcnt", b="RM", ff=FF.COUNT_B)
+    asm.label("bb.copy_word")
+    asm.emit(r="bb.sp", a="RM", fetch=True, alu="INC", load="RM")
+    asm.emit(r="bb.c", a="MD", alu="A", load="RM")
+    asm.emit(r="bb.c", b="RM", alu="B", load="T")
+    asm.emit(r="bb.p", ff=FF.SHIFT_OUT, load="T")                   # window out
+    asm.emit(r="bb.dp", a="RM", b="T", store=True, alu="INC", load="RM")
+    asm.emit(r="bb.c", b="RM", alu="B", load="T")
+    asm.emit(r="bb.p", b="T", alu="B", load="RM",
+             branch=("COUNT", "bb.copy_word", "bb.copy_row"))
+    asm.label("bb.copy_row")
+    asm.emit(r="bb.sadv", b="RM", alu="B", load="T")
+    asm.emit(r="bb.sp", a="RM", b="T", alu="ADD", load="RM")
+    asm.emit(r="bb.dadv", b="RM", alu="B", load="T")
+    asm.emit(r="bb.dp", a="RM", b="T", alu="ADD", load="RM")
+    asm.emit(r="bb.rows", a="RM", alu="DEC", load="RM",
+             branch=("NONZERO", "bb.copy_next", "bb.copy_done"))
+    asm.label("bb.copy_next")
+    asm.emit(goto="bb.copy")
+    asm.label("bb.copy_done")
+    asm.emit(ff=FF.HALT, idle=True)
+
+    # --- function of source and destination --------------------------------
+    asm.label("bb.func")
+    asm.emit(r="bb.sp", a="RM", fetch=True, alu="INC", load="RM")
+    asm.emit(r="bb.p", a="MD", alu="A", load="RM")
+    asm.emit(r="bb.wcnt", b="RM", ff=FF.COUNT_B)
+    asm.label("bb.func_word")
+    asm.emit(r="bb.sp", a="RM", fetch=True, alu="INC", load="RM")
+    asm.emit(r="bb.c", a="MD", alu="A", load="RM")
+    asm.emit(r="bb.c", b="RM", alu="B", load="T")
+    asm.emit(r="bb.p", ff=FF.SHIFT_OUT, load="T")
+    asm.emit(r="bb.dp", a="RM", fetch=True)                          # dst word
+    asm.emit(a="MD", b="T", alu="XOR", load="T")
+    asm.emit(r="bb.dp", a="RM", b="T", store=True, alu="INC", load="RM")
+    asm.emit(r="bb.c", b="RM", alu="B", load="T")
+    asm.emit(r="bb.p", b="T", alu="B", load="RM",
+             branch=("COUNT", "bb.func_word", "bb.func_row"))
+    asm.label("bb.func_row")
+    asm.emit(r="bb.sadv", b="RM", alu="B", load="T")
+    asm.emit(r="bb.sp", a="RM", b="T", alu="ADD", load="RM")
+    asm.emit(r="bb.dadv", b="RM", alu="B", load="T")
+    asm.emit(r="bb.dp", a="RM", b="T", alu="ADD", load="RM")
+    asm.emit(r="bb.rows", a="RM", alu="DEC", load="RM",
+             branch=("NONZERO", "bb.func_next", "bb.func_done"))
+    asm.label("bb.func_next")
+    asm.emit(goto="bb.func")
+    asm.label("bb.func_done")
+    asm.emit(ff=FF.HALT, idle=True)
+
+    # --- erase ------------------------------------------------------------------
+    asm.label("bb.fill")
+    asm.emit(r="bb.wcnt", b="RM", ff=FF.COUNT_B)
+    asm.emit(r="bb.val", b="RM", alu="B", load="T")
+    asm.label("bb.fill_word")
+    asm.emit(r="bb.dp", a="RM", b="T", store=True, alu="INC", load="RM",
+             branch=("COUNT", "bb.fill_word", "bb.fill_row"))
+    asm.label("bb.fill_row")
+    asm.emit(r="bb.dadv", b="RM", alu="B", load="T")
+    asm.emit(r="bb.dp", a="RM", b="T", alu="ADD", load="RM")
+    asm.emit(r="bb.rows", a="RM", alu="DEC", load="RM",
+             branch=("NONZERO", "bb.fill_next", "bb.fill_done"))
+    asm.label("bb.fill_next")
+    asm.emit(goto="bb.fill")
+    asm.label("bb.fill_done")
+    asm.emit(ff=FF.HALT, idle=True)
+
+    # --- masked fill: pixel-granularity rectangles --------------------------
+    # Per row: merge the fill value into the first word under FMASK
+    # (read-modify-write), run the whole-word loop over the middle, then
+    # merge the last word under LMASK.  Rectangles narrower than a word
+    # are handled on the host by intersecting the masks.
+    asm.registers({"bb.fm": REG_FMASK, "bb.lm": REG_LMASK})
+
+    asm.label("bb.fillm")
+    # First word: dst <- (val & fm) | (dst & ~fm).
+    asm.emit(r="bb.dp", a="RM", fetch=True)
+    asm.emit(r="bb.fm", a="MD", b="RM", alu="ANDNOT", load="T")   # dst & ~fm
+    asm.emit(r="bb.c", b="T", alu="B", load="RM")                  # stash dst&~fm
+    asm.emit(r="bb.fm", b="RM", alu="B", load="T")
+    asm.emit(r="bb.val", a="RM", b="T", alu="AND", load="T")       # val & fm
+    asm.emit(r="bb.c", a="RM", b="T", alu="OR", load="T")
+    asm.emit(r="bb.dp", a="RM", b="T", store=True, alu="INC", load="RM")
+    # Middle words: COUNT(wcnt) whole-word stores (wcnt may be 0).
+    asm.emit(r="bb.wcnt", a="RM", alu="A",
+             branch=("ZERO", "bb.fillm_last_go", "bb.fillm_mid"))
+    asm.label("bb.fillm_last_go")
+    asm.emit(goto="bb.fillm_last")
+    asm.label("bb.fillm_mid")
+    # COUNT <- middle-1: the decrement-and-branch loop body runs
+    # count+1 times (it executes on the test of zero too).
+    asm.emit(r="bb.wcnt", a="RM", alu="DEC", load="T")
+    asm.emit(b="T", ff=FF.COUNT_B)
+    asm.emit(r="bb.val", b="RM", alu="B", load="T")
+    asm.label("bb.fillm_word")
+    asm.emit(r="bb.dp", a="RM", b="T", store=True, alu="INC", load="RM",
+             branch=("COUNT", "bb.fillm_word", "bb.fillm_last"))
+    asm.label("bb.fillm_last")
+    # Last word: dst <- (val & lm) | (dst & ~lm).
+    asm.emit(r="bb.dp", a="RM", fetch=True)
+    asm.emit(r="bb.lm", a="MD", b="RM", alu="ANDNOT", load="T")
+    asm.emit(r="bb.c", b="T", alu="B", load="RM")
+    asm.emit(r="bb.lm", b="RM", alu="B", load="T")
+    asm.emit(r="bb.val", a="RM", b="T", alu="AND", load="T")
+    asm.emit(r="bb.c", a="RM", b="T", alu="OR", load="T")
+    asm.emit(r="bb.dp", a="RM", b="T", store=True, alu="INC", load="RM")
+    # Next row.
+    asm.emit(r="bb.dadv", b="RM", alu="B", load="T")
+    asm.emit(r="bb.dp", a="RM", b="T", alu="ADD", load="RM")
+    asm.emit(r="bb.rows", a="RM", alu="DEC", load="RM",
+             branch=("NONZERO", "bb.fillm_next", "bb.fillm_done"))
+    asm.label("bb.fillm_next")
+    asm.emit(goto="bb.fillm")
+    asm.label("bb.fillm_done")
+    asm.emit(ff=FF.HALT, idle=True)
+
+
+def build_bitblt_machine(config: MachineConfig = PRODUCTION) -> Processor:
+    """A processor loaded with the BitBlt microcode and an identity map."""
+    asm = Assembler(config)
+    asm.emit(ff=FF.HALT, idle=True)  # benign entry if booted unconfigured
+    bitblt_microcode(asm)
+    cpu = Processor(config)
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map()
+    return cpu
+
+
+def run_bitblt(
+    cpu: Processor,
+    function: BitBltFunction,
+    *,
+    src_va: int = 0,
+    dst_va: int,
+    words_per_row: int,
+    rows: int,
+    src_pitch: int = None,
+    dst_pitch: int = None,
+    shift: int = 0,
+    fill_value: int = 0,
+    max_cycles: int = 10_000_000,
+) -> int:
+    """Run one BitBlt; returns the cycles it took.
+
+    *shift* is the bit offset (0..15) of the source window; the copy and
+    function loops read ``words_per_row + 1`` source words per row.
+    """
+    if words_per_row < 1 or rows < 1:
+        raise DoradoError("BitBlt needs at least one word and one row")
+    if not 0 <= shift <= 15:
+        raise DoradoError("shift must be 0..15")
+    src_pitch = words_per_row if src_pitch is None else src_pitch
+    dst_pitch = words_per_row if dst_pitch is None else dst_pitch
+
+    regs = cpu.regs
+    regs.write_rbase(0, 0)
+    regs.write_membase(0, 0)
+    regs.write_rm_absolute(REG_SP, src_va)
+    regs.write_rm_absolute(REG_DP, dst_va)
+    regs.write_rm_absolute(REG_ROWS, rows)
+    regs.write_rm_absolute(REG_WCNT, words_per_row - 1)
+    regs.write_rm_absolute(REG_VAL, fill_value)
+    if function is BitBltFunction.FILL:
+        regs.write_rm_absolute(REG_DADV, word(dst_pitch - words_per_row))
+        regs.write_rm_absolute(REG_SADV, 0)
+    else:
+        regs.write_rm_absolute(REG_SADV, word(src_pitch - words_per_row - 1))
+        regs.write_rm_absolute(REG_DADV, word(dst_pitch - words_per_row))
+    regs.write_shiftctl(ShiftControl(amount=shift).encode())
+
+    cpu.boot(cpu.address_of(function.value))
+    start = cpu.counters.cycles
+    cpu.run(max_cycles)
+    if not cpu.halted:
+        raise DoradoError("BitBlt did not finish within the cycle budget")
+    return cpu.counters.cycles - start
+
+
+def fill_rect_pixels(
+    cpu: Processor,
+    *,
+    base_va: int,
+    words_per_row: int,
+    x: int,
+    y: int,
+    width: int,
+    height: int,
+    value: int = 0xFFFF,
+    max_cycles: int = 10_000_000,
+) -> int:
+    """Fill a pixel rectangle using the masked BitBlt loop.
+
+    Edge words are read-modify-written under first/last-word masks; any
+    whole words in between go through the plain store loop.  Returns the
+    cycles used.
+    """
+    if width < 1 or height < 1:
+        raise DoradoError("rectangle must be at least 1x1 pixels")
+    if x < 0 or x + width > words_per_row * WORD_BITS:
+        raise DoradoError("rectangle exceeds the row")
+    first_word, last_word = x // WORD_BITS, (x + width - 1) // WORD_BITS
+    # Pixel masks: bit 15 is the leftmost pixel of a word.
+    fmask = (0xFFFF >> (x % WORD_BITS)) & 0xFFFF
+    lmask = (0xFFFF << (WORD_BITS - 1 - ((x + width - 1) % WORD_BITS))) & 0xFFFF
+    if first_word == last_word:
+        fmask &= lmask
+        lmask = fmask
+    span = last_word - first_word + 1
+    middle = max(0, span - 2)
+    if span == 1:
+        # Degenerate: run a 2-word pass with the last mask forced empty?
+        # Simpler: first == last word; use fmask for both and point the
+        # "last" merge at the same word by running a 1-row trick: fall
+        # back to two merges of the same word (idempotent since the
+        # masks are equal).
+        pass
+
+    regs = cpu.regs
+    regs.write_rbase(0, 0)
+    regs.write_membase(0, 0)
+    regs.write_rm_absolute(REG_DP, base_va + y * words_per_row + first_word)
+    regs.write_rm_absolute(REG_ROWS, height)
+    regs.write_rm_absolute(REG_WCNT, middle)
+    regs.write_rm_absolute(REG_VAL, value & 0xFFFF)
+    regs.write_rm_absolute(REG_FMASK, fmask)
+    regs.write_rm_absolute(REG_LMASK, lmask if span > 1 else 0)
+    # Row advance: the loop consumes first + middle + last words.
+    consumed = 1 + middle + 1
+    regs.write_rm_absolute(REG_DADV, word(words_per_row - consumed))
+
+    cpu.boot(cpu.address_of(BitBltFunction.FILLM.value))
+    start = cpu.counters.cycles
+    cpu.run(max_cycles)
+    if not cpu.halted:
+        raise DoradoError("masked fill did not finish")
+    return cpu.counters.cycles - start
+
+
+def reference_shifted_row(src_words: List[int], shift: int) -> List[int]:
+    """What one row of ``bb.copy`` produces (host-side oracle).
+
+    ``src_words`` has words_per_row + 1 entries; output word j is the
+    16-bit window starting *shift* bits into source word j.
+    """
+    out = []
+    for j in range(len(src_words) - 1):
+        window = ((src_words[j] << 16) | src_words[j + 1]) >> (16 - shift) if shift else src_words[j]
+        out.append(word(window))
+    return out

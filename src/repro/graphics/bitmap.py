@@ -1,0 +1,96 @@
+"""Host-side bitmap handling.
+
+The Dorado display "is refreshed from a full bitmap in main storage;
+this bitmap has one bit for each picture element (dot) on the screen"
+(section 7).  A :class:`Bitmap` is a rectangle of bits living in
+simulated main storage, word-aligned rows; the host-side accessors exist
+so tests can verify what BitBlt microcode did.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import DoradoError
+from ..types import WORD_BITS, word
+
+
+class Bitmap:
+    """A rectangle of bits in simulated memory.
+
+    Rows are ``words_per_row`` full words; bit (x, y) is bit
+    ``15 - (x % 16)`` of word ``base + y*words_per_row + x//16``
+    (bit 0 of the display is the word's most significant bit, matching
+    the Alto/Dorado raster convention).
+    """
+
+    def __init__(self, memory, base_va: int, words_per_row: int, height: int) -> None:
+        if words_per_row <= 0 or height <= 0:
+            raise DoradoError("bitmap dimensions must be positive")
+        self.memory = memory
+        self.base_va = base_va
+        self.words_per_row = words_per_row
+        self.height = height
+
+    @property
+    def width(self) -> int:
+        return self.words_per_row * WORD_BITS
+
+    @property
+    def total_words(self) -> int:
+        return self.words_per_row * self.height
+
+    @property
+    def total_bits(self) -> int:
+        return self.total_words * WORD_BITS
+
+    def row_address(self, y: int) -> int:
+        return self.base_va + y * self.words_per_row
+
+    def read_word(self, y: int, word_index: int) -> int:
+        return self.memory.debug_read(self.row_address(y) + word_index)
+
+    def write_word(self, y: int, word_index: int, value: int) -> None:
+        self.memory.debug_write(self.row_address(y) + word_index, value)
+
+    def get_bit(self, x: int, y: int) -> int:
+        w = self.read_word(y, x // WORD_BITS)
+        return (w >> (WORD_BITS - 1 - (x % WORD_BITS))) & 1
+
+    def set_bit(self, x: int, y: int, value: int) -> None:
+        w = self.read_word(y, x // WORD_BITS)
+        mask = 1 << (WORD_BITS - 1 - (x % WORD_BITS))
+        self.write_word(y, x // WORD_BITS, (w | mask) if value else (w & ~mask))
+
+    def fill(self, value: int) -> None:
+        for y in range(self.height):
+            for i in range(self.words_per_row):
+                self.write_word(y, i, value)
+
+    def load_pattern(self, seed: int = 0x9E37) -> None:
+        """Deterministic pseudo-random contents (xorshift), for tests."""
+        state = seed or 1
+        for y in range(self.height):
+            for i in range(self.words_per_row):
+                state ^= (state << 7) & 0xFFFF
+                state ^= state >> 9
+                state ^= (state << 8) & 0xFFFF
+                self.write_word(y, i, state)
+
+    def rows(self) -> List[List[int]]:
+        """All rows as word lists (host-side snapshot)."""
+        return [
+            [self.read_word(y, i) for i in range(self.words_per_row)]
+            for y in range(self.height)
+        ]
+
+    def render(self, on: str = "#", off: str = ".") -> str:
+        """ASCII-art rendering, for examples and debugging."""
+        lines = []
+        for y in range(self.height):
+            bits = []
+            for i in range(self.words_per_row):
+                w = self.read_word(y, i)
+                bits.extend(on if (w >> (15 - b)) & 1 else off for b in range(16))
+            lines.append("".join(bits))
+        return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""The instruction fetch unit substrate (Lampson et al., reference [5]).
+
+"An instruction fetch unit (IFU) in the Dorado fetches bytes from such a
+stream, decodes them as instructions and operands, and provides the
+necessary control and data information to the processor."  The IFU owns
+the macro program counter, prefetches the byte stream, decodes opcodes
+through a per-instruction-set table into microstore dispatch addresses,
+and hands operands to the processor on the IFUDATA bus.
+"""
+
+from .decoder import DecodeEntry, DecodeTable, OperandKind
+from .ifu import Ifu
+
+__all__ = ["DecodeEntry", "DecodeTable", "Ifu", "OperandKind"]

@@ -1,0 +1,170 @@
+"""The instruction fetch unit.
+
+Behavioral model with the timing that matters to the processor:
+
+* **Steady state**: the buffer runs ahead of execution (one word -- two
+  bytes -- fetched per cycle into a six-byte buffer), so NextMacro finds
+  a decoded dispatch ready and a simple macroinstruction executes in a
+  single microinstruction with no stall -- the paper's headline
+  "can execute a simple macroinstruction in one cycle".
+* **After a jump** (FF ``IFU_JUMP``): the buffer is flushed; bytes
+  arrive a word per cycle, plus a decode cycle, so the next NextMacro
+  holds for a few cycles -- the taken-branch penalty.
+
+The IFU reads the byte stream through its own memory port.  Code is
+read coherently (through the cache image) but untimed; the contention
+this ignores is small because the buffer amortizes one word fetch over
+one-or-more-byte instructions.  Self-modifying macro code is not
+supported (it wasn't meaningfully supported on the real machine either:
+the IFU buffer there was equally unaware of stores).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import EmulatorError
+from ..types import word
+from .decoder import DecodeEntry, DecodeTable
+
+#: Bytes of lookahead buffer (the real IFU buffered six bytes).
+BUFFER_BYTES = 6
+
+
+class Ifu:
+    """The instruction fetch unit, clocked by :meth:`tick`."""
+
+    def __init__(self, memory, decode_cycles: int = 1, code_membase: int = 0) -> None:
+        self.memory = memory
+        self.decode_cycles = decode_cycles
+        self.code_membase = code_membase
+        self.table: Optional[DecodeTable] = None
+        self._dispatch_addresses: Dict[str, int] = {}
+        self.now = 0
+        self.running = False
+        self.pc = 0             # byte address of the next undispatched instruction
+        self._buffered = 0      # byte address one past the buffered prefix
+        self._ready_at = 0      # cycle when the head instruction is decoded
+        self._head: Optional[DecodeEntry] = None
+        self._head_invalid = False
+        self._head_operands: List[int] = []
+        self._current_operands: List[int] = []  # IFUDATA for the executing macro
+        self.dispatches = 0     # macroinstructions dispatched (for stats)
+
+    # --- configuration ---------------------------------------------------
+
+    def load_table(self, table: DecodeTable, dispatch_addresses: Dict[str, int]) -> None:
+        """Install an ISA's decode table with resolved handler addresses."""
+        missing = [l for l in table.dispatch_labels() if l not in dispatch_addresses]
+        if missing:
+            raise EmulatorError(f"unresolved dispatch labels: {missing}")
+        self.table = table
+        self._dispatch_addresses = dict(dispatch_addresses)
+
+    # --- control from microcode -------------------------------------------
+
+    def start(self, byte_pc: int) -> None:
+        """Point the IFU at a byte stream and begin prefetching."""
+        if self.table is None:
+            raise EmulatorError("IFU started with no decode table loaded")
+        self.running = True
+        self.jump(byte_pc)
+
+    def jump(self, byte_pc: int) -> None:
+        """FF ``IFU_JUMP``: redirect the stream, flushing the buffer."""
+        self.pc = word(byte_pc)
+        self._buffered = self.pc
+        self._head = None
+        self._head_invalid = False
+        self._head_operands = []
+
+    def reset(self) -> None:
+        """FF ``IFU_RESET``: stop prefetching."""
+        self.running = False
+        self._head = None
+        self._head_invalid = False
+        self._head_operands = []
+        self._current_operands = []
+
+    # --- clock ------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One cycle of prefetch and decode."""
+        self.now += 1
+        if not self.running:
+            return
+        if self._buffered - self.pc < BUFFER_BYTES:
+            self._buffered += 2  # one word of the stream per cycle
+        if self._head is None:
+            self._try_decode()
+
+    def _byte(self, address: int) -> int:
+        """A byte of the macro code stream (big-endian within words)."""
+        w = self.memory.debug_read(self._code_va(address))
+        return (w >> 8) & 0xFF if (address & 1) == 0 else w & 0xFF
+
+    def _code_va(self, byte_address: int) -> int:
+        base = self.memory.translator.read_base(self.code_membase)
+        return base + (byte_address >> 1)
+
+    def _try_decode(self) -> None:
+        if self._buffered <= self.pc:
+            return
+        try:
+            entry = self.table.entry(self._byte(self.pc))
+        except EmulatorError:
+            # Prefetch ran into bytes that are not instructions (e.g.
+            # past a HALT).  Harmless unless actually dispatched.
+            self._head_invalid = True
+            return
+        self._head_invalid = False
+        if self._buffered < self.pc + entry.length:
+            return
+        raw = [self._byte(self.pc + 1 + i) for i in range(entry.operands.length)]
+        self._head = entry
+        self._head_operands = entry.operand_values(raw)
+        self._ready_at = self.now + self.decode_cycles
+
+    # --- processor interface -------------------------------------------------
+
+    @property
+    def dispatch_ready(self) -> bool:
+        """Whether NextMacro would proceed this cycle without Hold."""
+        if self.running and self._head_invalid:
+            raise EmulatorError(
+                f"macro execution reached an undefined opcode at byte PC {self.pc:#x}"
+            )
+        return self.running and self._head is not None and self.now >= self._ready_at
+
+    def take_dispatch(self) -> int:
+        """Consume the decoded head instruction; returns its microaddress.
+
+        After this, :attr:`pc` is the byte address of the *following*
+        macroinstruction (what EXTB_IFUPC reads -- the return address for
+        calls) and the consumed instruction's operands are current on
+        IFUDATA.
+        """
+        assert self.dispatch_ready, "take_dispatch without dispatch_ready"
+        entry = self._head
+        self._current_operands = self._head_operands
+        self.pc = word(self.pc + entry.length)
+        self._head = None
+        self._head_operands = []
+        self.dispatches += 1
+        self._try_decode()  # decode of the successor overlaps execution
+        return self._dispatch_addresses[entry.dispatch]
+
+    @property
+    def operand_ready(self) -> bool:
+        return bool(self._current_operands)
+
+    def read_operand(self) -> int:
+        """IFUDATA: "as each operand is used, the IFU provides the next"."""
+        if not self._current_operands:
+            raise EmulatorError("microcode read IFUDATA with no operand pending")
+        return self._current_operands[0]
+
+    def consume_operand(self) -> None:
+        """Advance past the current operand (called on instruction commit)."""
+        if self._current_operands:
+            self._current_operands.pop(0)

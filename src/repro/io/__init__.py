@@ -1,0 +1,33 @@
+"""I/O device controllers.
+
+The Dorado's controllers are deliberately thin: "when the processor is
+available to each device, complex device interfaces can be implemented
+with relatively little dedicated hardware" (section 4).  A device model
+here is the *hardware* half of a controller -- FIFOs, status registers,
+the wakeup line, and (for high-bandwidth devices) a fast-I/O port; the
+*microcode* half runs on the simulated processor under the device's
+task.
+"""
+
+from .device import Device, LoopbackDevice
+from .disk import DiskController, DiskGeometry, disk_microcode
+from .display import DisplayController, display_fast_microcode
+from .keyboard import KeyboardDevice, keyboard_microcode
+from .network import NetworkController, network_microcode
+from .timer import TimerDevice, timer_microcode
+
+__all__ = [
+    "Device",
+    "DiskController",
+    "DiskGeometry",
+    "DisplayController",
+    "KeyboardDevice",
+    "LoopbackDevice",
+    "NetworkController",
+    "TimerDevice",
+    "disk_microcode",
+    "keyboard_microcode",
+    "display_fast_microcode",
+    "network_microcode",
+    "timer_microcode",
+]

@@ -1,0 +1,265 @@
+"""The disk controller and its microcode (section 7).
+
+"I/O devices with transfer rates up to 10 megabits/sec are handled by
+the processor via the IODATA and IOADDRESS busses.  The microcode for
+the disk takes three cycles to transfer two words each way; thus the 10
+megabit/sec disk consumes 5% of the processor."
+
+The controller hardware is a word FIFO clocked at the disk's data rate
+(one 16-bit word per ~27 cycles is 9.9 Mbit/s at 60 ns) plus a
+status/command register.  The microcode moves one word per
+microinstruction -- "both the memory reference and the I/O transfer can
+be specified in a single instruction" (section 5.8) -- so a wakeup
+services two words in three cycles in the read direction.  The write
+direction costs four cycles for two words in our model, because a
+fetched word must age two cycles in the memory pipeline before IODATA
+can take it (see EXPERIMENTS.md, E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..asm.assembler import Assembler
+from ..core.functions import FF
+from ..errors import DeviceError
+from ..types import word
+from .device import Device
+
+#: Microcode register allocation within the disk task's RM bank.
+REG_PTR = 0   #: buffer pointer (virtual address displacement)
+REG_CNT = 1   #: remaining word pairs
+REG_ST = 2    #: status code to OUTPUT on completion
+
+STATUS_DONE = 1
+
+#: Default task and bus address for the disk.
+DISK_TASK = 13
+DISK_IO_ADDRESS = 0x20
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Synthetic drive parameters."""
+
+    sectors: int = 64
+    words_per_sector: int = 256
+    word_interval_cycles: int = 27  #: ~9.9 Mbit/s at 60 ns/cycle
+
+    def __post_init__(self) -> None:
+        if self.words_per_sector % 2:
+            raise DeviceError("words_per_sector must be even (two words per wakeup)")
+
+
+class DiskController(Device):
+    """An 80 MB-class removable disk, scaled down and synthesized."""
+
+    def __init__(
+        self,
+        geometry: DiskGeometry = DiskGeometry(),
+        task: int = DISK_TASK,
+        io_address: int = DISK_IO_ADDRESS,
+    ) -> None:
+        super().__init__("disk", task, io_address, register_count=2)
+        self.geometry = geometry
+        self.surface: List[List[int]] = [
+            [0] * geometry.words_per_sector for _ in range(geometry.sectors)
+        ]
+        self.mode = "idle"
+        self.sector = 0
+        self.word_index = 0
+        self.requested_words = 0
+        self.fifo: List[int] = []
+        self.done = False
+        self._timer = 0
+        self._done_wakeup_sent = False
+
+    # --- host-side surface access ------------------------------------------
+
+    def fill_sector(self, sector: int, values: List[int]) -> None:
+        if len(values) != self.geometry.words_per_sector:
+            raise DeviceError("fill_sector needs a full sector of words")
+        self.surface[sector] = [word(v) for v in values]
+
+    def read_sector_image(self, sector: int) -> List[int]:
+        return list(self.surface[sector])
+
+    # --- transfer setup (the console pokes registers and TPC) -----------------
+
+    def _setup(self, machine, buffer_va: int, entry: str) -> None:
+        machine.regs.write_rbase(self.task, self.task)
+        machine.regs.write_ioaddress(self.task, self.io_address)
+        machine.regs.write_membase(self.task, 0)
+        bank = self.task * 16
+        machine.regs.write_rm_absolute(bank + REG_PTR, buffer_va)
+        machine.regs.write_rm_absolute(bank + REG_CNT, self.geometry.words_per_sector // 2)
+        machine.regs.write_rm_absolute(bank + REG_ST, STATUS_DONE)
+        machine.pipe.write_tpc(self.task, machine.address_of(entry))
+
+    def begin_read(self, machine, sector: int, buffer_va: int) -> None:
+        """Start a sector read into memory at *buffer_va*."""
+        if self.mode != "idle":
+            raise DeviceError("disk transfer already in progress")
+        self._setup(machine, buffer_va, "disk.read_loop")
+        self.mode = "read"
+        self.sector = sector
+        self.word_index = 0
+        self.fifo = []
+        self.done = False
+        self._done_wakeup_sent = False
+        self._unclaimed = 0
+        self._timer = self.geometry.word_interval_cycles
+
+    def begin_write(self, machine, sector: int, buffer_va: int) -> None:
+        """Start a sector write from memory at *buffer_va*."""
+        if self.mode != "idle":
+            raise DeviceError("disk transfer already in progress")
+        self._setup(machine, buffer_va, "disk.write_prime")
+        self.mode = "write"
+        self.sector = sector
+        self.word_index = 0
+        self.requested_words = 0
+        self.fifo = []
+        self.done = False
+        self._done_wakeup_sent = False
+        self._timer = self.geometry.word_interval_cycles
+        # The priming instruction needs one unit of service to run.
+        self.request_service(1)
+
+    # --- device clock -----------------------------------------------------------
+
+    def poll(self, machine) -> None:
+        if self.mode == "read":
+            self._timer -= 1
+            if self._timer <= 0 and self.word_index < self.geometry.words_per_sector:
+                self.fifo.append(self.surface[self.sector][self.word_index])
+                self.word_index += 1
+                self._unclaimed += 1
+                self._timer = self.geometry.word_interval_cycles
+            # Each request claims exactly the two words that triggered
+            # it, so a burst resumed after preemption can never race a
+            # fresh request for the same data.
+            if self._unclaimed >= 2:
+                self._unclaimed -= 2
+                self.request_service(1)
+            # All words consumed by microcode: one last wakeup runs the
+            # done path (the task blocked with TPC at disk.read_done).
+            if (
+                self.word_index >= self.geometry.words_per_sector
+                and not self.fifo
+                and not self._done_wakeup_sent
+                and self._service_pending == 0 and not self._was_granted
+            ):
+                self._done_wakeup_sent = True
+                self.request_service(1)
+        elif self.mode == "write":
+            self._timer -= 1
+            if self._timer <= 0 and self.fifo and self.word_index < self.geometry.words_per_sector:
+                self.surface[self.sector][self.word_index] = self.fifo.pop(0)
+                self.word_index += 1
+                self._timer = self.geometry.word_interval_cycles
+            want_more = self.requested_words < self.geometry.words_per_sector
+            if want_more and len(self.fifo) <= 2 and self._service_pending == 0 and not self._was_granted:
+                self.request_service(1)
+                self.requested_words += 2
+            elif (
+                not want_more
+                and not self._done_wakeup_sent
+                and self._service_pending == 0 and not self._was_granted
+            ):
+                self._done_wakeup_sent = True
+                self.request_service(1)
+
+    # --- bus registers --------------------------------------------------------------
+
+    def read_register(self, offset: int) -> int:
+        if offset == 0:
+            if not self.fifo:
+                raise DeviceError("disk data FIFO underrun (microcode/pacing bug)")
+            return self.fifo.pop(0)
+        if offset == 1:
+            return (1 if self.done else 0) | (2 if self.mode != "idle" else 0)
+        raise DeviceError(f"disk: no register {offset}")
+
+    def write_register(self, offset: int, value: int) -> None:
+        if offset == 0:
+            self.fifo.append(word(value))
+            return
+        if offset == 1:
+            if value == STATUS_DONE:
+                if self.mode == "read":
+                    self.mode = "idle"
+                    self.done = True
+                elif self.mode == "write":
+                    # Microcode is done fetching; the surface finishes
+                    # absorbing the FIFO at the data rate.
+                    self.mode = "write_drain"
+                self.attention = True
+            return
+        raise DeviceError(f"disk: no register {offset}")
+
+    def tick(self, machine, granted: bool) -> None:
+        super().tick(machine, granted)
+        if self.mode == "write_drain":
+            self._timer -= 1
+            if self._timer <= 0 and self.fifo and self.word_index < self.geometry.words_per_sector:
+                self.surface[self.sector][self.word_index] = self.fifo.pop(0)
+                self.word_index += 1
+                self._timer = self.geometry.word_interval_cycles
+            if not self.fifo or self.word_index >= self.geometry.words_per_sector:
+                self.mode = "idle"
+                self.done = True
+
+
+def disk_microcode(asm: Assembler, io_address: int = DISK_IO_ADDRESS) -> None:
+    """Emit the disk task's microcode into *asm*.
+
+    Read direction -- the paper's three cycles for two words: each word
+    moves device-to-memory in a single microinstruction (Store with the
+    INPUT word on B, while the ALU bumps the buffer pointer), and the
+    third instruction counts, blocks, and branches.
+
+    Write direction -- four cycles for two words: T buffers one word so
+    each fetch is two cycles old before OUTPUT uses it.
+    """
+    asm.registers({"dsk.ptr": REG_PTR, "dsk.cnt": REG_CNT, "dsk.st": REG_ST})
+
+    # --- read: device -> memory ---------------------------------------------
+    asm.label("disk.read_loop")
+    asm.emit(r="dsk.ptr", a="RM", b="INPUT", store=True, alu="INC", load="RM")
+    asm.emit(r="dsk.ptr", a="RM", b="INPUT", store=True, alu="INC", load="RM")
+    asm.emit(
+        r="dsk.cnt", a="RM", alu="DEC", load="RM", block=True,
+        branch=("NONZERO", "disk.read_loop", "disk.read_done"),
+    )
+    # Completion: point IOADDRESS at the status register, then OUTPUT the
+    # done code.  (The retarget takes two instructions because a literal
+    # on B and the IOADDRESS_B function both need FF -- section 5.5.)
+    asm.label("disk.read_done")
+    asm.emit(b=io_address + 1, alu="B", load="T")
+    asm.emit(b="T", ff=FF.IOADDRESS_B)
+    asm.emit(r="dsk.st", b="RM", ff=FF.OUTPUT, block=True, goto="disk.idle")
+
+    # --- write: memory -> device -----------------------------------------------
+    # Prime: fetch word 0 so MD is loaded when the loop first runs.
+    asm.label("disk.write_prime")
+    asm.emit(r="dsk.ptr", a="RM", fetch=True, alu="INC", load="RM",
+             block=True, goto="disk.write_loop")
+    # Invariant entering the loop: MD = word[p], ptr = p + 1.
+    asm.label("disk.write_loop")
+    asm.emit(r="dsk.ptr", a="RM", fetch=True, b="MD", alu="B", load="T")
+    asm.emit(r="dsk.ptr", a="RM", b="T", ff=FF.OUTPUT, alu="INC", load="RM")
+    asm.emit(r="dsk.ptr", a="RM", fetch=True, ff=FF.OUTPUT_MD, alu="INC", load="RM")
+    asm.emit(
+        r="dsk.cnt", a="RM", alu="DEC", load="RM", block=True,
+        branch=("NONZERO", "disk.write_loop", "disk.write_done"),
+    )
+    asm.label("disk.write_done")
+    asm.emit(b=io_address + 1, alu="B", load="T")
+    asm.emit(b="T", ff=FF.IOADDRESS_B)
+    asm.emit(r="dsk.st", b="RM", ff=FF.OUTPUT, block=True, goto="disk.idle")
+
+    # --- idle: woken spuriously, just block again -------------------------------
+    asm.label("disk.idle")
+    asm.emit(block=True, goto="disk.idle")

@@ -1,0 +1,217 @@
+"""A network interface controller.
+
+The Dorado's research environment hung off "an interface to a high
+bandwidth communication network" (section 2).  This model is an
+Ethernet-class interface on the slow I/O system: the host injects
+packets, the controller paces their words into a FIFO at line rate, and
+the network task's microcode -- the same one-word-per-instruction shape
+as the disk's -- stores them into a ring of receive buffers.  Transmit
+drains a memory buffer back out.  Its purpose in the reproduction is to
+be a *second* concurrent I/O task, so benchmarks can show several
+controllers multiplexing the processor with the emulator (experiment
+E9 and the examples).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..asm.assembler import Assembler
+from ..core.functions import FF
+from ..errors import DeviceError
+from ..types import word
+from .device import Device
+
+REG_PTR = 0
+REG_CNT = 1
+REG_ST = 2
+
+STATUS_DONE = 1
+
+NETWORK_TASK = 11
+NETWORK_IO_ADDRESS = 0x40
+
+
+class NetworkController(Device):
+    """Receive-and-transmit interface with host-injected packets."""
+
+    def __init__(
+        self,
+        task: int = NETWORK_TASK,
+        io_address: int = NETWORK_IO_ADDRESS,
+        word_interval_cycles: int = 16,  #: ~16.7 Mbit/s at 60 ns
+    ) -> None:
+        super().__init__("network", task, io_address, register_count=2)
+        self.word_interval_cycles = word_interval_cycles
+        self.rx_queue: List[List[int]] = []   #: packets awaiting reception
+        self.rx_current: List[int] = []
+        self.fifo: List[int] = []
+        self.tx_words: List[int] = []          #: words transmitted onto the wire
+        self.tx_expected = 0
+        self.tx_requested = 0
+        self.rx_remaining = 0
+        self.mode = "idle"
+        self.packets_received = 0
+        self.done = False
+        self._timer = 0
+        self._done_wakeup_sent = False
+
+    # --- host-side wire ---------------------------------------------------
+
+    def inject_packet(self, words: List[int]) -> None:
+        """Queue a packet on the (simulated) wire."""
+        if len(words) % 2:
+            raise DeviceError("packets must be an even number of words")
+        self.rx_queue.append([word(w) for w in words])
+
+    # --- transfer setup ---------------------------------------------------------
+
+    def _setup(self, machine, buffer_va: int, count_pairs: int, entry: str) -> None:
+        machine.regs.write_rbase(self.task, self.task)
+        machine.regs.write_ioaddress(self.task, self.io_address)
+        machine.regs.write_membase(self.task, 0)
+        bank = self.task * 16
+        machine.regs.write_rm_absolute(bank + REG_PTR, buffer_va)
+        machine.regs.write_rm_absolute(bank + REG_CNT, count_pairs)
+        machine.regs.write_rm_absolute(bank + REG_ST, STATUS_DONE)
+        machine.pipe.write_tpc(self.task, machine.address_of(entry))
+
+    def begin_receive(self, machine, buffer_va: int, packet_words: int) -> None:
+        """Arm reception of the next *packet_words*-word packet."""
+        if self.mode != "idle":
+            raise DeviceError("network transfer already in progress")
+        self._setup(machine, buffer_va, packet_words // 2, "net.rx_loop")
+        self.mode = "rx"
+        self.fifo = []
+        self.done = False
+        self._unclaimed = 0
+        self.rx_remaining = packet_words
+        self._done_wakeup_sent = False
+        self._timer = self.word_interval_cycles
+
+    def begin_transmit(self, machine, buffer_va: int, packet_words: int) -> None:
+        """Transmit *packet_words* words from memory onto the wire."""
+        if self.mode != "idle":
+            raise DeviceError("network transfer already in progress")
+        self._setup(machine, buffer_va, packet_words // 2, "net.tx_prime")
+        self.mode = "tx"
+        self.fifo = []
+        self.tx_words = []
+        self.tx_expected = packet_words
+        self.tx_requested = 0
+        self.done = False
+        self._done_wakeup_sent = False
+        self._timer = self.word_interval_cycles
+        self.request_service(1)  # run the priming fetch
+
+    # --- device clock --------------------------------------------------------------
+
+    def poll(self, machine) -> None:
+        if self.mode == "rx":
+            if not self.rx_current and self.rx_queue:
+                self.rx_current = self.rx_queue.pop(0)
+            self._timer -= 1
+            if self._timer <= 0 and self.rx_current and self.rx_remaining > 0:
+                self.fifo.append(self.rx_current.pop(0))
+                self.rx_remaining -= 1
+                self._unclaimed += 1
+                self._timer = self.word_interval_cycles
+            # Claim accounting: see repro/io/disk.py.
+            if self._unclaimed >= 2:
+                self._unclaimed -= 2
+                self.request_service(1)
+            if (
+                self.rx_remaining == 0
+                and not self.fifo
+                and not self._done_wakeup_sent
+                and self._service_pending == 0 and not self._was_granted
+            ):
+                self._done_wakeup_sent = True
+                self.request_service(1)
+        elif self.mode == "tx":
+            self._timer -= 1
+            if self._timer <= 0 and self.fifo:
+                self.tx_words.append(self.fifo.pop(0))
+                self._timer = self.word_interval_cycles
+            requested_all = self.tx_requested >= self.tx_expected
+            if not requested_all and len(self.fifo) <= 2 and self._service_pending == 0 and not self._was_granted:
+                self.request_service(1)
+                self.tx_requested += 2
+            elif (
+                requested_all
+                and not self._done_wakeup_sent
+                and self._service_pending == 0 and not self._was_granted
+            ):
+                self._done_wakeup_sent = True
+                self.request_service(1)
+        elif self.mode == "tx_drain":
+            self._timer -= 1
+            if self._timer <= 0 and self.fifo:
+                self.tx_words.append(self.fifo.pop(0))
+                self._timer = self.word_interval_cycles
+            if not self.fifo:
+                self.mode = "idle"
+                self.done = True
+
+    # --- bus registers ------------------------------------------------------------------
+
+    def read_register(self, offset: int) -> int:
+        if offset == 0:
+            if not self.fifo:
+                raise DeviceError("network RX FIFO underrun")
+            return self.fifo.pop(0)
+        if offset == 1:
+            return 1 if self.done else 0
+        raise DeviceError(f"network: no register {offset}")
+
+    def write_register(self, offset: int, value: int) -> None:
+        if offset == 0:
+            self.fifo.append(word(value))
+            return
+        if offset == 1:
+            if value == STATUS_DONE:
+                if self.mode == "rx":
+                    self.mode = "idle"
+                    self.done = True
+                    self.packets_received += 1
+                elif self.mode == "tx":
+                    self.mode = "tx_drain"
+                self.attention = True
+            return
+        raise DeviceError(f"network: no register {offset}")
+
+
+def network_microcode(asm: Assembler, io_address: int = NETWORK_IO_ADDRESS) -> None:
+    """Emit the network task's microcode (same shapes as the disk's)."""
+    asm.registers({"net.ptr": REG_PTR, "net.cnt": REG_CNT, "net.st": REG_ST})
+
+    asm.label("net.rx_loop")
+    asm.emit(r="net.ptr", a="RM", b="INPUT", store=True, alu="INC", load="RM")
+    asm.emit(r="net.ptr", a="RM", b="INPUT", store=True, alu="INC", load="RM")
+    asm.emit(
+        r="net.cnt", a="RM", alu="DEC", load="RM", block=True,
+        branch=("NONZERO", "net.rx_loop", "net.rx_done"),
+    )
+    asm.label("net.rx_done")
+    asm.emit(b=io_address + 1, alu="B", load="T")
+    asm.emit(b="T", ff=FF.IOADDRESS_B)
+    asm.emit(r="net.st", b="RM", ff=FF.OUTPUT, block=True, goto="net.idle")
+
+    asm.label("net.tx_prime")
+    asm.emit(r="net.ptr", a="RM", fetch=True, alu="INC", load="RM",
+             block=True, goto="net.tx_loop")
+    asm.label("net.tx_loop")
+    asm.emit(r="net.ptr", a="RM", fetch=True, b="MD", alu="B", load="T")
+    asm.emit(r="net.ptr", a="RM", b="T", ff=FF.OUTPUT, alu="INC", load="RM")
+    asm.emit(r="net.ptr", a="RM", fetch=True, ff=FF.OUTPUT_MD, alu="INC", load="RM")
+    asm.emit(
+        r="net.cnt", a="RM", alu="DEC", load="RM", block=True,
+        branch=("NONZERO", "net.tx_loop", "net.tx_done"),
+    )
+    asm.label("net.tx_done")
+    asm.emit(b=io_address + 1, alu="B", load="T")
+    asm.emit(b="T", ff=FF.IOADDRESS_B)
+    asm.emit(r="net.st", b="RM", ff=FF.OUTPUT, block=True, goto="net.idle")
+
+    asm.label("net.idle")
+    asm.emit(block=True, goto="net.idle")

@@ -1,0 +1,80 @@
+"""A housekeeping timer task.
+
+Real Dorados ran periodic microcode tasks (refresh, time-of-day) beside
+the device controllers.  This model wakes its task at a fixed interval;
+the microcode maintains a 32-bit tick counter in main memory using the
+saved-carry multi-precision add (ALUFM slot 11, section 6.3.3) -- one
+eight-instruction service burst per tick.
+"""
+
+from __future__ import annotations
+
+from ..asm.assembler import Assembler
+from .device import Device
+
+TIMER_TASK = 8
+TIMER_IO_ADDRESS = 0x50
+
+REG_PTR = 0  #: VA of the low word of the two-word tick counter
+REG_HI = 1   #: scratch: VA of the high word
+
+
+class TimerDevice(Device):
+    """Raises a wakeup every *interval_cycles*."""
+
+    def __init__(
+        self,
+        interval_cycles: int = 1000,
+        task: int = TIMER_TASK,
+        io_address: int = TIMER_IO_ADDRESS,
+    ) -> None:
+        super().__init__("timer", task, io_address, register_count=1)
+        self.interval_cycles = interval_cycles
+        self.enabled = False
+        self.ticks_raised = 0
+        self._timer = 0
+
+    def start(self, machine, counter_va: int) -> None:
+        """Point the task's microcode at the counter and begin ticking."""
+        machine.regs.write_rbase(self.task, self.task)
+        machine.regs.write_membase(self.task, 0)
+        machine.regs.write_rm_absolute(self.task * 16 + REG_PTR, counter_va)
+        machine.pipe.write_tpc(self.task, machine.address_of("tmr.tick"))
+        self.enabled = True
+        self._timer = self.interval_cycles
+
+    def stop(self) -> None:
+        self.enabled = False
+
+    def poll(self, machine) -> None:
+        if not self.enabled:
+            return
+        self._timer -= 1
+        if self._timer <= 0:
+            self._timer = self.interval_cycles
+            self.ticks_raised += 1
+            self.request_service(1)
+
+    def read_register(self, offset: int) -> int:
+        return self.ticks_raised & 0xFFFF
+
+
+def timer_microcode(asm: Assembler) -> None:
+    """One tick: 32-bit increment of [ptr] (low) and [ptr+1] (high).
+
+    The low-word ADD latches its carry-out; the high word adds it back
+    with ALUFM slot 11 (A+B+saved carry).  The moves in between use
+    logical ALU functions, which leave the saved carry alone.
+    """
+    asm.registers({"tmr.ptr": REG_PTR, "tmr.hi": REG_HI})
+
+    asm.label("tmr.tick")
+    asm.emit(r="tmr.ptr", a="RM", fetch=True)                 # low word
+    asm.emit(r="tmr.ptr", a="RM", alu="INC", load="T")
+    asm.emit(r="tmr.hi", b="T", alu="B", load="RM")           # hi address
+    asm.emit(a="MD", b=1, alu="ADD", load="T")                # low + 1 (carry!)
+    asm.emit(r="tmr.ptr", a="RM", b="T", store=True)          # store low
+    asm.emit(r="tmr.hi", a="RM", fetch=True)                  # high word
+    asm.emit(a="MD", b=0, alu="ADDC", load="T")               # + saved carry
+    asm.emit(r="tmr.hi", a="RM", b="T", store=True,
+             block=True, goto="tmr.tick")

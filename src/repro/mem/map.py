@@ -1,0 +1,134 @@
+"""Virtual address formation and the page map.
+
+Section 6.3.2: "MEMADDRESS provides a sixteen bit displacement, which is
+added to a 28 bit base register in the memory system to form a virtual
+address."  MEMBASE (5 bits) selects one of 32 base registers.  The
+virtual address is then translated by a page map to a real storage
+address; the map holds per-page write-protect and valid bits, and
+latches dirty/referenced bits the way the real map hardware did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigError
+from ..types import word
+
+#: Words per virtual/real page for map purposes.
+PAGE_WORDS = 256
+PAGE_SHIFT = 8
+
+#: Map-entry flag bits, as packed into the 16-bit word microcode sees
+#: through FF ``READ_MAP`` / ``MAP_WRITE``.
+FLAG_VALID = 0x8000
+FLAG_WRITE_PROTECT = 0x4000
+FLAG_DIRTY = 0x2000
+FLAG_REFERENCED = 0x1000
+REAL_PAGE_MASK = 0x0FFF
+
+
+@dataclass
+class MapEntry:
+    """One page-map entry."""
+
+    real_page: int = 0
+    valid: bool = False
+    write_protected: bool = False
+    dirty: bool = False
+    referenced: bool = False
+
+    def encode(self) -> int:
+        """Pack into the 16-bit representation used on the B bus."""
+        value = self.real_page & REAL_PAGE_MASK
+        if self.valid:
+            value |= FLAG_VALID
+        if self.write_protected:
+            value |= FLAG_WRITE_PROTECT
+        if self.dirty:
+            value |= FLAG_DIRTY
+        if self.referenced:
+            value |= FLAG_REFERENCED
+        return value
+
+    @staticmethod
+    def decode(value: int) -> "MapEntry":
+        value = word(value)
+        return MapEntry(
+            real_page=value & REAL_PAGE_MASK,
+            valid=bool(value & FLAG_VALID),
+            write_protected=bool(value & FLAG_WRITE_PROTECT),
+            dirty=bool(value & FLAG_DIRTY),
+            referenced=bool(value & FLAG_REFERENCED),
+        )
+
+
+class AddressTranslator:
+    """Base registers plus the page map."""
+
+    def __init__(self, num_base_registers: int, base_register_bits: int) -> None:
+        if num_base_registers <= 0:
+            raise ConfigError("need at least one base register")
+        self._base_mask = (1 << base_register_bits) - 1
+        self.bases = [0] * num_base_registers
+        self.map: Dict[int, MapEntry] = {}
+
+    # --- base registers ----------------------------------------------------
+
+    def write_base_low(self, index: int, value: int) -> None:
+        """FF ``BASE_LO_B``: the low 16 bits of a base register."""
+        index %= len(self.bases)
+        self.bases[index] = (self.bases[index] & ~0xFFFF | word(value)) & self._base_mask
+
+    def write_base_high(self, index: int, value: int) -> None:
+        """FF ``BASE_HI_B``: the bits above 16 of a base register."""
+        index %= len(self.bases)
+        low = self.bases[index] & 0xFFFF
+        self.bases[index] = ((word(value) << 16) | low) & self._base_mask
+
+    def read_base(self, index: int) -> int:
+        return self.bases[index % len(self.bases)]
+
+    def virtual_address(self, membase: int, displacement: int) -> int:
+        """VA = base register + 16-bit displacement (section 6.3.2)."""
+        return (self.read_base(membase) + word(displacement)) & self._base_mask
+
+    # --- the page map --------------------------------------------------------
+
+    def map_write(self, virtual_page: int, encoded: int) -> None:
+        """FF ``MAP_WRITE``: install a map entry."""
+        self.map[virtual_page] = MapEntry.decode(encoded)
+
+    def map_read(self, virtual_page: int) -> int:
+        """FF ``READ_MAP``: the encoded entry (zero when absent/invalid)."""
+        entry = self.map.get(virtual_page)
+        return entry.encode() if entry else 0
+
+    def entry_for(self, va: int) -> Optional[MapEntry]:
+        return self.map.get(va >> PAGE_SHIFT)
+
+    def translate(self, va: int, write: bool) -> Optional[int]:
+        """VA to real address, or None on a map/write-protect fault.
+
+        Sets the referenced bit on any successful translation and the
+        dirty bit on a successful write, as the map hardware does.
+        """
+        entry = self.map.get(va >> PAGE_SHIFT)
+        if entry is None or not entry.valid:
+            return None
+        if write and entry.write_protected:
+            return None
+        entry.referenced = True
+        if write:
+            entry.dirty = True
+        return (entry.real_page << PAGE_SHIFT) | (va & (PAGE_WORDS - 1))
+
+    def identity_map(self, pages: int, write_protected_pages: int = 0) -> None:
+        """Map virtual pages 0..pages-1 straight through (setup helper)."""
+        for page in range(pages):
+            self.map[page] = MapEntry(
+                real_page=page,
+                valid=True,
+                write_protected=page < write_protected_pages,
+            )

@@ -1,0 +1,63 @@
+"""Main storage.
+
+"In addition there are up to 4 storage modules, with about 300 16K or
+64K RAMS ... for a maximum of 8 megabytes" (section 1).  Storage is
+organized in 16-word munches; "The maximum rate at which storage
+references can be made is one every eight cycles (this is the cycle
+time of our storage RAMS)" (section 6.2.1) -- the timing lives in
+:mod:`repro.mem.pipeline`; this module is the RAM array itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigError
+from ..types import MUNCH_WORDS, word
+
+
+class Storage:
+    """A flat array of 16-bit words, addressed by real address."""
+
+    def __init__(self, words: int) -> None:
+        if words <= 0 or words % MUNCH_WORDS:
+            raise ConfigError(f"storage size {words} must be a positive multiple of {MUNCH_WORDS}")
+        self.size = words
+        self._data: List[int] = [0] * words
+
+    def in_range(self, address: int) -> bool:
+        return 0 <= address < self.size
+
+    def read_word(self, address: int) -> int:
+        return self._data[address]
+
+    def write_word(self, address: int, value: int) -> None:
+        self._data[address] = word(value)
+
+    @staticmethod
+    def munch_base(address: int) -> int:
+        """The first word address of the munch containing *address*."""
+        return address & ~(MUNCH_WORDS - 1)
+
+    def read_munch(self, address: int) -> List[int]:
+        """The 16 words of the munch containing *address*."""
+        base = self.munch_base(address)
+        return self._data[base : base + MUNCH_WORDS]
+
+    def write_munch(self, address: int, values: Sequence[int]) -> None:
+        if len(values) != MUNCH_WORDS:
+            raise ConfigError(f"a munch is {MUNCH_WORDS} words, got {len(values)}")
+        base = self.munch_base(address)
+        self._data[base : base + MUNCH_WORDS] = [word(v) for v in values]
+
+    def load(self, address: int, values: Sequence[int]) -> None:
+        """Bulk image load (program/bitmap setup; not a timed operation)."""
+        if address < 0 or address + len(values) > self.size:
+            raise ConfigError(
+                f"load of {len(values)} words at {address} exceeds storage of {self.size}"
+            )
+        self._data[address : address + len(values)] = [word(v) for v in values]
+
+    def dump(self, address: int, count: int) -> List[int]:
+        """Bulk image read (for tests and verification)."""
+        return self._data[address : address + count]

@@ -1,0 +1,13 @@
+"""Performance measurement: workloads, profilers, and the paper harness.
+
+:mod:`workloads` builds ready-to-run byte-code scenarios per emulator;
+:mod:`measure` profiles microinstructions/cycles per macroinstruction
+class; :mod:`report` regenerates every quantitative claim of the paper's
+section 7 (see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from .measure import OpcodeProfiler
+from .tracing import PipelineTracer
+from .workloads import Workload
+
+__all__ = ["OpcodeProfiler", "PipelineTracer", "Workload"]

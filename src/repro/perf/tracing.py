@@ -1,0 +1,129 @@
+"""Cycle-by-cycle execution tracing and timeline rendering.
+
+The Dorado was debugged without scope probes on most signals
+(section 4) -- the console and microcode counters carried the load.
+:class:`PipelineTracer` is the simulator's version: it records every
+cycle's (task, microaddress, held) triple and renders per-task timelines
+like::
+
+    task  0 emulator  ################hhhh####....########
+    task 13 disk      ................####................
+
+which makes Hold windows and task multiplexing visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..types import NUM_TASKS
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    cycle: int
+    task: int
+    pc: int
+    held: bool
+
+
+class PipelineTracer:
+    """Attachable cycle recorder.
+
+    Attach with :meth:`install`; every subsequent ``Processor.step``
+    appends a :class:`TraceRecord`.  Recording a bounded window keeps
+    long runs cheap: set *max_records* and the earliest records are
+    dropped (the timeline renders whatever remains).
+    """
+
+    def __init__(self, machine, max_records: int = 100_000) -> None:
+        self.machine = machine
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self._previous_hook = None
+        self._installed = False
+
+    def install(self) -> "PipelineTracer":
+        if self._installed:
+            return self
+        self._previous_hook = self.machine.trace_hook
+        previous = self._previous_hook
+
+        def hook(now, pc, inst, held):
+            self.records.append(
+                TraceRecord(now, self.machine.pipe.this_task, pc, held)
+            )
+            if len(self.records) > self.max_records:
+                del self.records[: len(self.records) - self.max_records]
+            if previous is not None:
+                previous(now, pc, inst, held)
+
+        self.machine.trace_hook = hook
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.machine.trace_hook = self._previous_hook
+            self._installed = False
+
+    # --- analysis ----------------------------------------------------------
+
+    def tasks_seen(self) -> List[int]:
+        return sorted({r.task for r in self.records})
+
+    def cycles_by_task(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for r in self.records:
+            counts[r.task] = counts.get(r.task, 0) + 1
+        return counts
+
+    def holds_by_task(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for r in self.records:
+            if r.held:
+                counts[r.task] = counts.get(r.task, 0) + 1
+        return counts
+
+    def hold_windows(self, task: int) -> List[tuple]:
+        """Contiguous held spans for *task*: (start_cycle, length)."""
+        windows = []
+        start: Optional[int] = None
+        length = 0
+        for r in self.records:
+            if r.task == task and r.held:
+                if start is None:
+                    start = r.cycle
+                    length = 1
+                else:
+                    length += 1
+            elif start is not None:
+                windows.append((start, length))
+                start = None
+        if start is not None:
+            windows.append((start, length))
+        return windows
+
+    def timeline(self, width: int = 72, labels: Optional[Dict[int, str]] = None) -> str:
+        """Per-task activity strip: '#' running, 'h' held, '.' idle."""
+        if not self.records:
+            return "(no records)"
+        labels = labels or {}
+        first = self.records[0].cycle
+        last = self.records[-1].cycle
+        span = max(1, last - first + 1)
+        scale = min(1.0, width / span)
+        columns = min(width, span)
+        rows: Dict[int, List[str]] = {}
+        for r in self.records:
+            column = min(columns - 1, int((r.cycle - first) * scale))
+            row = rows.setdefault(r.task, ["."] * columns)
+            mark = "h" if r.held else "#"
+            if row[column] != "h":  # holds dominate a bucket
+                row[column] = mark
+        lines = [f"cycles {first}..{last}"]
+        for task in sorted(rows):
+            name = labels.get(task, f"task {task:2d}")
+            lines.append(f"{name:<14s}{''.join(rows[task])}")
+        return "\n".join(lines)

@@ -1,0 +1,338 @@
+"""Workload generators: byte-code programs for the four emulators.
+
+Each builder returns a :class:`Workload` whose machine is loaded and
+initialized; ``run()`` executes to the HALT byte code and ``verify()``
+checks the architectural result, so benchmark numbers are only reported
+for runs that computed the right answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from ..config import MachineConfig, PRODUCTION
+from ..emulators import bcpl, lisp, mesa, smalltalk
+from ..emulators.isa import BytecodeAssembler, EmulatorContext
+from ..errors import EmulatorError
+
+
+@dataclass
+class Workload:
+    """A runnable emulator scenario with a correctness oracle."""
+
+    name: str
+    ctx: EmulatorContext
+    verify: Callable[[], bool]
+    meta: Dict[str, int] = field(default_factory=dict)
+
+    def run(self, max_cycles: int = 5_000_000) -> int:
+        cycles = self.ctx.run(max_cycles)
+        if not self.ctx.halted:
+            raise EmulatorError(f"workload {self.name} did not halt")
+        if not self.verify():
+            raise EmulatorError(f"workload {self.name} computed a wrong result")
+        return cycles
+
+
+# --------------------------------------------------------------------------
+# Mesa
+# --------------------------------------------------------------------------
+
+def mesa_loop_sum(n: int = 200, config: MachineConfig = PRODUCTION) -> Workload:
+    """Load/store/branch-heavy loop: sum 1..n into local 0."""
+    ctx = mesa.build_mesa_machine(config)
+    b = BytecodeAssembler(ctx.table)
+    b.op("LIT", 0); b.op("SL", 0)
+    b.op("LITW", n); b.op("SL", 1)
+    b.label("loop")
+    b.op("LL", 0); b.op("LL", 1); b.op("ADD"); b.op("SL", 0)
+    b.op("LL", 1); b.op("LIT", 1); b.op("SUB"); b.op("SL", 1)
+    b.op("LL", 1); b.op("JNZ", "loop")
+    b.op("HALT")
+    ctx.load_program(b.assemble())
+    expected = n * (n + 1) // 2 & 0xFFFF
+    return Workload(
+        "mesa_loop_sum", ctx,
+        lambda: ctx.memory_word(mesa.FRAMES_VA + 2) == expected,
+        {"macros": 10 * n + 5},
+    )
+
+
+def mesa_fib(k: int = 12, config: MachineConfig = PRODUCTION) -> Workload:
+    """Call-heavy recursion: fib(k) via FC/ENTER/RET."""
+    ctx = mesa.build_mesa_machine(config)
+    b = BytecodeAssembler(ctx.table)
+    b.op("LITW", k); b.op("FC", "fib"); b.op("SL", 0); b.op("HALT")
+    b.label("fib")
+    b.op("ENTER", 1)
+    b.op("LL", 0); b.op("LIT", 2); b.op("SUB"); b.op("JNEG", "base")
+    b.op("LL", 0); b.op("LIT", 1); b.op("SUB"); b.op("FC", "fib"); b.op("SL", 1)
+    b.op("LL", 0); b.op("LIT", 2); b.op("SUB"); b.op("FC", "fib")
+    b.op("LL", 1); b.op("ADD"); b.op("RET")
+    b.label("base")
+    b.op("LL", 0); b.op("RET")
+    ctx.load_program(b.assemble())
+
+    def fib(x):
+        a, bb = 0, 1
+        for _ in range(x):
+            a, bb = bb, a + bb
+        return a
+
+    expected = fib(k) & 0xFFFF
+    return Workload(
+        "mesa_fib", ctx,
+        lambda: ctx.memory_word(mesa.FRAMES_VA + 2) == expected,
+    )
+
+
+def mesa_bubble_sort(
+    n: int = 16, seed: int = 1, config: MachineConfig = PRODUCTION
+) -> Workload:
+    """Array-heavy composite kernel: bubble sort via AL/AS/LT.
+
+    locals: 0=i, 1=j, 2=a[j], 3=a[j+1]; the array lives at ARRAY_VA.
+    """
+    array_va = 0x3800
+    ctx = mesa.build_mesa_machine(config)
+    b = BytecodeAssembler(ctx.table)
+    b.op("LITW", n - 1); b.op("SL", 0)               # i = n-1
+    b.label("outer")
+    b.op("LIT", 0); b.op("SL", 1)                     # j = 0
+    b.label("inner")
+    b.op("LITW", array_va); b.op("LL", 1); b.op("AL"); b.op("SL", 2)
+    b.op("LL", 1); b.op("INC"); b.op("SL", 4)
+    b.op("LITW", array_va); b.op("LL", 4); b.op("AL"); b.op("SL", 3)
+    b.op("LL", 3); b.op("LL", 2); b.op("LT"); b.op("JZ", "noswap")
+    b.op("LITW", array_va); b.op("LL", 1); b.op("LL", 3); b.op("AS")
+    b.op("LITW", array_va); b.op("LL", 4); b.op("LL", 2); b.op("AS")
+    b.label("noswap")
+    b.op("LL", 1); b.op("INC"); b.op("SL", 1)
+    b.op("LL", 1); b.op("LL", 0); b.op("LT"); b.op("JNZ", "inner")
+    b.op("LL", 0); b.op("LIT", 1); b.op("SUB"); b.op("SL", 0)
+    b.op("LL", 0); b.op("JNZ", "outer")
+    b.op("HALT")
+    ctx.load_program(b.assemble())
+
+    state = seed or 1
+    values = []
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) & 0x7FFF
+        values.append(state)
+    for i, v in enumerate(values):
+        ctx.set_memory_word(array_va + i, v)
+    expected = sorted(values)
+
+    def check() -> bool:
+        return [ctx.memory_word(array_va + i) for i in range(n)] == expected
+
+    return Workload("mesa_bubble_sort", ctx, check)
+
+
+def mesa_mul_kernel(iters: int = 40, config: MachineConfig = PRODUCTION) -> Workload:
+    """Hardware multiply steps: sum of i*i for i in 1..iters (mod 2^16)."""
+    ctx = mesa.build_mesa_machine(config)
+    b = BytecodeAssembler(ctx.table)
+    b.op("LIT", 0); b.op("SL", 0)
+    b.op("LITW", iters); b.op("SL", 1)
+    b.label("loop")
+    b.op("LL", 1); b.op("LL", 1); b.op("MUL")
+    b.op("LL", 0); b.op("ADD"); b.op("SL", 0)
+    b.op("LL", 1); b.op("LIT", 1); b.op("SUB"); b.op("SL", 1)
+    b.op("LL", 1); b.op("JNZ", "loop")
+    b.op("HALT")
+    ctx.load_program(b.assemble())
+    expected = sum(i * i for i in range(1, iters + 1)) & 0xFFFF
+    return Workload(
+        "mesa_mul_kernel", ctx,
+        lambda: ctx.memory_word(mesa.FRAMES_VA + 2) == expected,
+    )
+
+
+def mesa_field_kernel(iters: int = 100, config: MachineConfig = PRODUCTION) -> Workload:
+    """Field read/modify/write on a packed record (RF/WF/SETF)."""
+    ctx = mesa.build_mesa_machine(config)
+    record_va = 0x3100
+    # Field: bits 4..9 (position 4, width 6) of record word 0.
+    read_spec = mesa.field_spec(4, 6)
+    write_spec = mesa.insert_spec(4, 6)
+    b = BytecodeAssembler(ctx.table)
+    b.op("LITW", iters); b.op("SL", 1)
+    b.label("loop")
+    b.op("SETF", read_spec)
+    b.op("LITW", record_va); b.op("RF", 0)      # push field
+    b.op("INC")                                  # field + 1
+    b.op("SETF", write_spec)
+    b.op("LITW", record_va); b.op("WF", 0)      # write it back (pops val, ptr)
+    b.op("LL", 1); b.op("LIT", 1); b.op("SUB"); b.op("SL", 1)
+    b.op("LL", 1); b.op("JNZ", "loop")
+    b.op("HALT")
+    ctx.load_program(b.assemble())
+    ctx.set_memory_word(record_va, 0x8003)  # field starts at 0
+
+    def check() -> bool:
+        value = ctx.memory_word(record_va)
+        fld = (value >> 4) & 0x3F
+        untouched = value & ~(0x3F << 4) & 0xFFFF
+        return fld == (iters & 0x3F) and untouched == 0x8003
+
+    return Workload("mesa_field_kernel", ctx, check)
+
+
+# --------------------------------------------------------------------------
+# Lisp
+# --------------------------------------------------------------------------
+
+def lisp_list_sum(n: int = 50, config: MachineConfig = PRODUCTION) -> Workload:
+    """CAR/CDR walk summing an n-element list."""
+    ctx = lisp.build_lisp_machine(config)
+    b = BytecodeAssembler(ctx.table)
+    s_l, s_t = lisp.symbol_operand(0), lisp.symbol_operand(1)
+    b.op("LIN", 0); b.op("SLV", s_t)
+    b.label("loop")
+    b.op("LLV", s_l); b.op("JNIL", "done")
+    b.op("LLV", s_t); b.op("LLV", s_l); b.op("CAR"); b.op("ADDL"); b.op("SLV", s_t)
+    b.op("LLV", s_l); b.op("CDR"); b.op("SLV", s_l)
+    b.op("JMPL", "loop")
+    b.label("done")
+    b.op("HALTL")
+    ctx.load_program(b.assemble())
+    head = lisp.build_list(ctx, range(1, n + 1))
+    lisp.set_symbol_value(ctx, 0, lisp.TAG_PAIR, head)
+    expected = (lisp.TAG_INT, n * (n + 1) // 2 & 0xFFFF)
+    return Workload(
+        "lisp_list_sum", ctx, lambda: lisp.symbol_value(ctx, 1) == expected
+    )
+
+
+def lisp_call_kernel(
+    iters: int = 20, config: MachineConfig = PRODUCTION
+) -> Workload:
+    """Function calls with two bound arguments, repeated *iters* times."""
+    ctx = lisp.build_lisp_machine(config)
+    b = BytecodeAssembler(ctx.table)
+    s_x, s_y = lisp.symbol_operand(2), lisp.symbol_operand(3)
+    s_acc, s_i = lisp.symbol_operand(0), lisp.symbol_operand(1)
+    fn_sym = 4
+    b.op("LIN", 0); b.op("SLV", s_acc)
+    b.op("LIN", iters); b.op("SLV", s_i)
+    b.label("loop")
+    b.op("LLV", s_acc); b.op("LIN", 3)
+    b.op("CALLL", lisp.symbol_operand(fn_sym))
+    b.op("SLV", s_acc)
+    b.op("LLV", s_i); b.op("LIN", 1); b.op("SUBL"); b.op("SLV", s_i)
+    b.op("LLV", s_i); b.op("JZL", "done")
+    b.op("JMPL", "loop")
+    b.label("done")
+    b.op("HALTL")
+    b.label("fn")
+    b.op("BIND", s_y); b.op("BIND", s_x)
+    b.op("LLV", s_x); b.op("LLV", s_y); b.op("ADDL")
+    b.op("RETL")
+    ctx.load_program(b.assemble())
+    lisp.define_function(ctx, fn_sym, b.address_of("fn"))
+    lisp.set_symbol_value(ctx, 2, lisp.TAG_INT, 0)
+    lisp.set_symbol_value(ctx, 3, lisp.TAG_INT, 0)
+    expected = (lisp.TAG_INT, (3 * iters) & 0xFFFF)
+    return Workload(
+        "lisp_call_kernel", ctx, lambda: lisp.symbol_value(ctx, 0) == expected
+    )
+
+
+def lisp_cons_kernel(n: int = 30, config: MachineConfig = PRODUCTION) -> Workload:
+    """Build an n-element list with CONS, then measure its sum."""
+    ctx = lisp.build_lisp_machine(config)
+    b = BytecodeAssembler(ctx.table)
+    s_l, s_i, s_t = (lisp.symbol_operand(k) for k in (0, 1, 2))
+    b.op("NILP"); b.op("SLV", s_l)
+    b.op("LIN", n); b.op("SLV", s_i)
+    b.label("build")
+    b.op("LLV", s_i); b.op("LLV", s_l); b.op("CONS"); b.op("SLV", s_l)
+    b.op("LLV", s_i); b.op("LIN", 1); b.op("SUBL"); b.op("SLV", s_i)
+    b.op("LLV", s_i); b.op("JZL", "sum")
+    b.op("JMPL", "build")
+    b.label("sum")
+    b.op("LIN", 0); b.op("SLV", s_t)
+    b.label("loop")
+    b.op("LLV", s_l); b.op("JNIL", "done")
+    b.op("LLV", s_t); b.op("LLV", s_l); b.op("CAR"); b.op("ADDL"); b.op("SLV", s_t)
+    b.op("LLV", s_l); b.op("CDR"); b.op("SLV", s_l)
+    b.op("JMPL", "loop")
+    b.label("done")
+    b.op("HALTL")
+    ctx.load_program(b.assemble())
+    expected = (lisp.TAG_INT, n * (n + 1) // 2 & 0xFFFF)
+    return Workload(
+        "lisp_cons_kernel", ctx, lambda: lisp.symbol_value(ctx, 2) == expected
+    )
+
+
+# --------------------------------------------------------------------------
+# BCPL and Smalltalk
+# --------------------------------------------------------------------------
+
+def bcpl_loop_sum(n: int = 200, config: MachineConfig = PRODUCTION) -> Workload:
+    ctx = bcpl.build_bcpl_machine(config)
+    b = BytecodeAssembler(ctx.table)
+    b.op("LDI", 0); b.op("STA", 0)
+    b.op("LDI", n); b.op("STA", 1)
+    b.label("loop")
+    b.op("LDA", 0); b.op("ADDA", 1); b.op("STA", 0)
+    b.op("LDA", 1); b.op("DECA"); b.op("STA", 1)
+    b.op("JNZA", "loop")
+    b.op("HALTA")
+    ctx.load_program(b.assemble())
+    expected = n * (n + 1) // 2 & 0xFFFF
+    return Workload(
+        "bcpl_loop_sum", ctx, lambda: bcpl.static_value(ctx, 0) == expected
+    )
+
+
+def smalltalk_counter(sends: int = 50, config: MachineConfig = PRODUCTION) -> Workload:
+    """Message-send benchmark: `counter add: 5` *sends* times."""
+    ctx = smalltalk.build_smalltalk_machine(config)
+    om = smalltalk.ObjectMemory(ctx)
+    sel_add = 7
+    # Dictionary with decoys so the probe loop does some work.
+    cls = om.make_class({3: 0, 9: 0, sel_add: 0})
+    counter = om.make_instance(cls, [0])
+    b = BytecodeAssembler(ctx.table)
+    b.op("PUSHC", sends)
+    b.label("loop")
+    b.op("DUPS"); b.op("JZS", "end")
+    b.op("PUSHC", counter)
+    b.op("PUSHC", 5)
+    b.op("SEND1", sel_add)
+    b.op("DROPS")
+    b.op("PUSHC", 1); b.op("SUBS")
+    b.op("JMPS", "loop")
+    b.label("end")
+    b.op("HALTS")
+    b.label("madd")
+    b.op("PUSHA")
+    b.op("PUSHIV", smalltalk.ivar_operand(0))
+    b.op("ADDS")
+    b.op("STIV", smalltalk.ivar_operand(0))
+    b.op("PUSHR")
+    b.op("RETS")
+    ctx.load_program(b.assemble())
+    om.set_method(cls, sel_add, b.address_of("madd"))
+    expected = (5 * sends) & 0xFFFF
+    return Workload(
+        "smalltalk_counter", ctx, lambda: om.ivar(counter, 0) == expected
+    )
+
+
+ALL_WORKLOADS = {
+    "mesa_loop_sum": mesa_loop_sum,
+    "mesa_bubble_sort": mesa_bubble_sort,
+    "mesa_mul_kernel": mesa_mul_kernel,
+    "mesa_fib": mesa_fib,
+    "mesa_field_kernel": mesa_field_kernel,
+    "lisp_list_sum": lisp_list_sum,
+    "lisp_call_kernel": lisp_call_kernel,
+    "lisp_cons_kernel": lisp_cons_kernel,
+    "bcpl_loop_sum": bcpl_loop_sum,
+    "smalltalk_counter": smalltalk_counter,
+}

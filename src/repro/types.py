@@ -1,0 +1,82 @@
+"""Shared word-level helpers and machine constants.
+
+The Dorado is a 16-bit machine: "Most data paths are sixteen bits wide"
+(paper, section 4).  All register and bus values in the simulator are
+plain Python ints kept in the range ``0 <= v < 2**16``; the helpers here
+centralize masking, sign interpretation, and byte surgery so the rest of
+the code never open-codes ``& 0xFFFF``.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 16
+WORD_MASK = 0xFFFF
+WORD_SIZE = 1 << WORD_BITS  # 65536
+
+BYTE_MASK = 0xFF
+
+#: Number of microcode priority levels ("tasks"), paper section 5.1.
+NUM_TASKS = 16
+
+#: Task 0 runs the emulator and is the lowest priority (section 5.1).
+EMULATOR_TASK = 0
+
+#: Words per memory "munch" -- the 16-word block moved by the fast I/O
+#: system and by cache fills (section 5.8).
+MUNCH_WORDS = 16
+
+
+def word(value: int) -> int:
+    """Truncate *value* to an unsigned 16-bit word (two's complement wrap)."""
+    return value & WORD_MASK
+
+
+def signed(value: int) -> int:
+    """Interpret a 16-bit word as a two's-complement signed integer."""
+    value &= WORD_MASK
+    return value - WORD_SIZE if value & 0x8000 else value
+
+
+def from_signed(value: int) -> int:
+    """Encode a signed integer (-32768..32767 after wrap) as a 16-bit word."""
+    return value & WORD_MASK
+
+
+def low_byte(value: int) -> int:
+    """The low-order 8 bits of a word."""
+    return value & BYTE_MASK
+
+
+def high_byte(value: int) -> int:
+    """The high-order 8 bits of a word."""
+    return (value >> 8) & BYTE_MASK
+
+
+def make_word(high: int, low: int) -> int:
+    """Assemble a word from two bytes."""
+    return ((high & BYTE_MASK) << 8) | (low & BYTE_MASK)
+
+
+def bit(value: int, position: int) -> int:
+    """Bit *position* of *value* (0 = least significant), as 0 or 1."""
+    return (value >> position) & 1
+
+
+def field(value: int, high: int, low: int) -> int:
+    """Extract bits ``high..low`` inclusive (0 = least significant)."""
+    width = high - low + 1
+    return (value >> low) & ((1 << width) - 1)
+
+
+def rotate_left_32(value: int, amount: int) -> int:
+    """Left cycle of a 32-bit quantity, as the barrel shifter does."""
+    amount %= 32
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def ones_mask(width: int) -> int:
+    """A mask of *width* one-bits in the low-order positions."""
+    if width <= 0:
+        return 0
+    return (1 << width) - 1

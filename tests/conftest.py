@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro import Assembler, MachineConfig, Processor, PRODUCTION
+from repro.core.functions import FF
+
+
+@pytest.fixture
+def asm():
+    return Assembler()
+
+
+@pytest.fixture
+def cpu():
+    machine = Processor()
+    machine.memory.identity_map(256)
+    return machine
+
+
+def run_microcode(build, config: MachineConfig = PRODUCTION, max_cycles: int = 100_000):
+    """Assemble microcode via *build(asm)*, run it to HALT, return the CPU.
+
+    The builder receives an :class:`Assembler`; if it does not emit a
+    HALT itself, one is appended.
+    """
+    asm = Assembler(config)
+    build(asm)
+    ops = asm.ops
+    if not any(op.ff == int(FF.HALT) and not op.bsel.is_constant for op in ops):
+        asm.halt()
+    image = asm.assemble()
+    machine = Processor(config)
+    machine.load_image(image)
+    machine.memory.identity_map(512)
+    machine.run(max_cycles)
+    assert machine.halted, "microcode did not reach HALT"
+    return machine

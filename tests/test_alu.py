@@ -1,0 +1,135 @@
+"""The 16-bit ALU and ALUFM."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import EncodingError
+from repro.core.alu import (
+    Alu,
+    AluControl,
+    AluFunc,
+    CarryIn,
+    STANDARD_ALUFM,
+    STANDARD_OPS,
+    compute,
+)
+from repro.types import signed, word
+
+words = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def run(op_name, a, b, saved=False):
+    alu = Alu()
+    return alu.run(STANDARD_OPS[op_name], a, b, saved)
+
+
+@given(words, words)
+def test_add_matches_reference(a, b):
+    res = run("ADD", a, b)
+    assert res.value == word(a + b)
+    assert res.carry == (a + b > 0xFFFF)
+
+
+@given(words, words)
+def test_sub_matches_reference(a, b):
+    res = run("SUB", a, b)
+    assert res.value == word(a - b)
+    # Borrow convention: carry-out set when no borrow occurred.
+    assert res.carry == (a >= b)
+
+
+@given(words, words)
+def test_rsub_matches_reference(a, b):
+    assert run("RSUB", a, b).value == word(b - a)
+
+
+@given(words, words)
+def test_logicals(a, b):
+    assert run("AND", a, b).value == (a & b)
+    assert run("OR", a, b).value == (a | b)
+    assert run("XOR", a, b).value == (a ^ b)
+    assert run("NOTB", a, b).value == (~b & 0xFFFF)
+    assert run("ANDNOT", a, b).value == (a & ~b & 0xFFFF)
+
+
+@given(words, words)
+def test_passthrough_and_increments(a, b):
+    assert run("A", a, b).value == a
+    assert run("B", a, b).value == b
+    assert run("INC", a, b).value == word(a + 1)
+    assert run("DEC", a, b).value == word(a - 1)
+    assert run("BINC", a, b).value == word(b + 1)
+    assert run("ZERO", a, b).value == 0
+
+
+@given(words, words)
+def test_signed_overflow_detection(a, b):
+    res = run("ADD", a, b)
+    true_sum = signed(a) + signed(b)
+    assert res.overflow == not_in_range(true_sum)
+
+
+def not_in_range(v):
+    return not (-32768 <= v <= 32767)
+
+
+@given(words, words, st.booleans())
+def test_add_with_saved_carry(a, b, carry):
+    res = run("ADDC", a, b, saved=carry)
+    assert res.value == word(a + b + (1 if carry else 0))
+
+
+@given(words, words, st.booleans())
+def test_sub_with_saved_carry_multiprecision(a, b, carry):
+    # A - B - 1 + carry: the low-to-high borrow chain.
+    res = run("SUBC", a, b, saved=carry)
+    assert res.value == word(a - b - 1 + (1 if carry else 0))
+
+
+def test_flags():
+    res = run("SUB", 5, 5)
+    assert res.zero and not res.negative
+    res = run("SUB", 0, 1)
+    assert res.negative and not res.zero
+
+
+@given(words)
+def test_multiprecision_add_32bit(low_offset):
+    """Two chained 16-bit adds must equal one 32-bit add."""
+    a = 0x1234_0000 | low_offset
+    b = 0x0F0F_F0F0
+    alu = Alu()
+    lo = alu.run(STANDARD_OPS["ADD"], a & 0xFFFF, b & 0xFFFF, False)
+    hi = alu.run(STANDARD_OPS["ADDC"], a >> 16, b >> 16, lo.carry)
+    assert ((hi.value << 16) | lo.value) == (a + b) & 0xFFFFFFFF
+
+
+def test_alufm_is_writeable():
+    alu = Alu()
+    alu.write_alufm(0, AluControl(AluFunc.A_XOR_B).encode())
+    assert alu.run(0, 0xFF00, 0x0FF0, False).value == 0xF0F0
+
+
+def test_alufm_roundtrip():
+    for entry in STANDARD_ALUFM:
+        assert AluControl.decode(entry.encode()) == entry
+
+
+def test_alufm_decode_range():
+    with pytest.raises(EncodingError):
+        AluControl.decode(64)
+
+
+def test_standard_ops_cover_map():
+    assert len(STANDARD_ALUFM) == 16
+    assert set(STANDARD_OPS.values()) == set(range(16))
+
+
+def test_not_a_function():
+    res = compute(AluControl(AluFunc.NOT_A), 0x00FF, 0, False)
+    assert res.value == 0xFF00
+
+
+def test_a_or_not_b():
+    res = compute(AluControl(AluFunc.A_OR_NOT_B), 0x0001, 0x00FF, False)
+    assert res.value == (0x0001 | 0xFF00)

@@ -1,0 +1,178 @@
+"""The microassembler DSL: encodings, conflicts, and conveniences."""
+
+import pytest
+
+from repro import Assembler, AssemblyError, BSel, FF, LoadControl, Processor
+from repro.asm.assembler import constant_fields
+from repro.core.microword import ASel
+
+
+def test_constant_fields_forms():
+    assert constant_fields(0x0042) == (BSel.CONST_LZ, 0x42)
+    assert constant_fields(0x4200) == (BSel.CONST_HZ, 0x42)
+    assert constant_fields(0xFF42) == (BSel.CONST_LO, 0x42)
+    assert constant_fields(0x42FF) == (BSel.CONST_HO, 0x42)
+    assert constant_fields(0x1234) is None
+
+
+def test_constant_edge_values():
+    # 0 and -1 are representable; byte-boundary values pick a valid form.
+    assert constant_fields(0) is not None
+    assert constant_fields(0xFFFF) is not None
+    assert constant_fields(0x00FF) is not None
+    assert constant_fields(0xFF00) is not None
+
+
+def test_unrepresentable_constant_rejected():
+    asm = Assembler()
+    with pytest.raises(AssemblyError, match="two microinstructions"):
+        asm.emit(b=0x1234)
+
+
+def test_load_constant_handles_any_value():
+    asm = Assembler()
+    asm.register("x", 1)
+    asm.load_constant("x", 0x1234)
+    asm.emit(r="x", b="RM", ff=FF.TRACE)
+    asm.halt()
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.run(100)
+    assert cpu.console.trace == [0x1234]
+
+
+def test_ff_conflict_constant_vs_function():
+    asm = Assembler()
+    with pytest.raises(AssemblyError, match="FF conflict"):
+        asm.emit(b=5, ff=FF.OUTPUT)
+
+
+def test_ff_conflict_extb_vs_function():
+    asm = Assembler()
+    with pytest.raises(AssemblyError, match="FF conflict"):
+        asm.emit(b="MD", ff=FF.SHIFTCTL_B)
+
+
+def test_ff_conflict_count_vs_membase():
+    asm = Assembler()
+    with pytest.raises(AssemblyError, match="FF conflict"):
+        asm.emit(count=3, membase=1)
+
+
+def test_same_ff_twice_is_allowed():
+    asm = Assembler()
+    asm.emit(b="MD", ff=FF.EXTB_MEMDATA, idle=True)  # redundant but consistent
+    assert asm.ops[0].ff == int(FF.EXTB_MEMDATA)
+
+
+def test_fast_fetch_claims_ff():
+    asm = Assembler()
+    with pytest.raises(AssemblyError, match="FF conflict"):
+        asm.emit(a="RM", fetch="fast", b=16)
+
+
+def test_register_names():
+    asm = Assembler()
+    asm.register("ptr", 3)
+    index = asm.emit(r="ptr", idle=True)
+    assert asm.ops[index].rsel == 3
+    with pytest.raises(AssemblyError):
+        asm.emit(r="nope", idle=True)
+    with pytest.raises(AssemblyError):
+        asm.register("ptr", 4)  # redefinition
+    with pytest.raises(AssemblyError):
+        asm.register("big", 16)
+
+
+def test_stack_delta_encoding():
+    asm = Assembler()
+    asm.emit(stack=-1, idle=True)
+    op = asm.ops[0]
+    assert op.block and op.rsel == 0xF
+    asm.emit(stack=7, idle=True)
+    assert asm.ops[1].rsel == 7
+    with pytest.raises(AssemblyError):
+        asm.emit(stack=8, idle=True)
+    with pytest.raises(AssemblyError):
+        asm.emit(stack=1, r="ptr", idle=True)
+
+
+def test_memory_reference_asel():
+    asm = Assembler()
+    asm.emit(a="RM", fetch=True, idle=True)
+    asm.emit(a="T", store=True, idle=True)
+    assert asm.ops[0].asel == ASel.RM_FETCH
+    assert asm.ops[1].asel == ASel.T_STORE
+
+
+def test_ifudata_address_uses_ff():
+    asm = Assembler()
+    asm.emit(a="IFUDATA", fetch=True, idle=True)
+    assert asm.ops[0].ff == int(FF.A_IFUDATA)
+
+
+def test_md_address_uses_ff():
+    asm = Assembler()
+    asm.emit(a="MD", store=True, idle=True)
+    assert asm.ops[0].ff == int(FF.A_MD)
+
+
+def test_fetch_and_store_conflict():
+    asm = Assembler()
+    with pytest.raises(AssemblyError):
+        asm.emit(fetch=True, store=True, idle=True)
+
+
+def test_multiple_successors_rejected():
+    asm = Assembler()
+    with pytest.raises(AssemblyError, match="multiple successors"):
+        asm.emit(goto="a", ret=True)
+
+
+def test_unknown_names_rejected():
+    asm = Assembler()
+    with pytest.raises(AssemblyError):
+        asm.emit(alu="FROB", idle=True)
+    with pytest.raises(AssemblyError):
+        asm.emit(b="??", idle=True)
+    with pytest.raises(AssemblyError):
+        asm.emit(a="??", idle=True)
+    with pytest.raises(AssemblyError):
+        asm.emit(load="??", idle=True)
+    with pytest.raises(AssemblyError):
+        asm.emit(branch=("NEVER", "a", "b"))
+
+
+def test_trailing_fallthrough_rejected():
+    asm = Assembler()
+    asm.emit()  # falls through to nothing
+    with pytest.raises(AssemblyError, match="falls through"):
+        asm.assemble()
+
+
+def test_dangling_label_rejected():
+    asm = Assembler()
+    asm.emit(idle=True)
+    asm.label("end")
+    with pytest.raises(AssemblyError, match="no instruction"):
+        asm.assemble()
+
+
+def test_fallthrough_chains_execute_in_order():
+    asm = Assembler()
+    asm.register("acc", 1)
+    asm.emit(r="acc", b=1, alu="B", load="RM")
+    asm.emit(r="acc", a="RM", b=2, alu="ADD", load="RM")
+    asm.emit(r="acc", a="RM", b=4, alu="ADD", load="RM")
+    asm.emit(r="acc", b="RM", ff=FF.TRACE)
+    asm.halt()
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.run(100)
+    assert cpu.console.trace == [7]
+
+
+def test_loadcontrol_mapping():
+    asm = Assembler()
+    asm.emit(load="RM_T", idle=True)
+    assert asm.ops[0].lc == LoadControl.RM_T

@@ -1,0 +1,238 @@
+"""BitBlt microcode against a host-side oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DoradoError
+from repro.graphics.bitblt import (
+    BitBltFunction,
+    build_bitblt_machine,
+    reference_shifted_row,
+    run_bitblt,
+)
+from repro.graphics.bitmap import Bitmap
+
+SRC_VA = 0x2000
+DST_VA = 0x6000
+
+
+def machine_with_bitmaps(words_per_row=8, rows=6, seed=0x1357):
+    cpu = build_bitblt_machine()
+    src = Bitmap(cpu.memory, SRC_VA, words_per_row + 1, rows)
+    dst = Bitmap(cpu.memory, DST_VA, words_per_row, rows)
+    src.load_pattern(seed)
+    dst.fill(0)
+    return cpu, src, dst
+
+
+def test_bitmap_accessors():
+    cpu = build_bitblt_machine()
+    bmp = Bitmap(cpu.memory, 0x1000, 2, 2)
+    bmp.fill(0)
+    bmp.set_bit(0, 0, 1)
+    bmp.set_bit(17, 1, 1)
+    assert bmp.get_bit(0, 0) == 1
+    assert bmp.get_bit(1, 0) == 0
+    assert bmp.read_word(0, 0) == 0x8000
+    assert bmp.get_bit(17, 1) == 1
+    assert bmp.width == 32 and bmp.total_bits == 64
+    rendered = bmp.render()
+    assert rendered.splitlines()[0][0] == "#"
+
+
+@pytest.mark.parametrize("shift", [0, 1, 5, 15])
+def test_copy_matches_reference(shift):
+    cpu, src, dst = machine_with_bitmaps()
+    run_bitblt(
+        cpu, BitBltFunction.COPY, src_va=SRC_VA, dst_va=DST_VA,
+        words_per_row=8, rows=6, src_pitch=9, dst_pitch=8, shift=shift,
+    )
+    for y in range(6):
+        src_words = [src.read_word(y, i) for i in range(9)]
+        expected = reference_shifted_row(src_words, shift)
+        got = [dst.read_word(y, i) for i in range(8)]
+        assert got == expected, f"row {y} shift {shift}"
+
+
+def test_xor_merges_destination():
+    cpu, src, dst = machine_with_bitmaps()
+    dst.load_pattern(0xBEEF)
+    before = dst.rows()
+    run_bitblt(
+        cpu, BitBltFunction.XOR, src_va=SRC_VA, dst_va=DST_VA,
+        words_per_row=8, rows=6, src_pitch=9, dst_pitch=8, shift=3,
+    )
+    for y in range(6):
+        src_words = [src.read_word(y, i) for i in range(9)]
+        shifted = reference_shifted_row(src_words, 3)
+        got = [dst.read_word(y, i) for i in range(8)]
+        assert got == [a ^ b for a, b in zip(shifted, before[y])]
+
+
+def test_xor_twice_is_identity():
+    cpu, src, dst = machine_with_bitmaps()
+    dst.load_pattern(0xCAFE)
+    before = dst.rows()
+    for _ in range(2):
+        run_bitblt(
+            cpu, BitBltFunction.XOR, src_va=SRC_VA, dst_va=DST_VA,
+            words_per_row=8, rows=6, src_pitch=9, dst_pitch=8, shift=7,
+        )
+    assert dst.rows() == before
+
+
+def test_fill_erases():
+    cpu, _, dst = machine_with_bitmaps()
+    dst.load_pattern()
+    run_bitblt(
+        cpu, BitBltFunction.FILL, dst_va=DST_VA, words_per_row=8, rows=6,
+        dst_pitch=8, fill_value=0xA5A5,
+    )
+    assert all(w == 0xA5A5 for row in dst.rows() for w in row)
+
+
+def test_pitch_skips_between_rows():
+    """dst rows laid out with a gap: the gap words stay untouched."""
+    cpu, src, _ = machine_with_bitmaps()
+    dst = Bitmap(cpu.memory, DST_VA, 10, 6)  # 10-wide arena, 8-wide blt
+    dst.fill(0x7777)
+    run_bitblt(
+        cpu, BitBltFunction.COPY, src_va=SRC_VA, dst_va=DST_VA,
+        words_per_row=8, rows=6, src_pitch=9, dst_pitch=10, shift=0,
+    )
+    for y in range(6):
+        assert dst.read_word(y, 8) == 0x7777
+        assert dst.read_word(y, 9) == 0x7777
+        assert dst.read_word(y, 0) == src.read_word(y, 0)
+
+
+def test_scroll_up_one_row():
+    """The screen-scroll case: copy rows 1..n to rows 0..n-1 in place."""
+    cpu, _, _ = machine_with_bitmaps()
+    bmp = Bitmap(cpu.memory, DST_VA, 9, 5)
+    bmp.load_pattern(0x2468)
+    before = bmp.rows()
+    run_bitblt(
+        cpu, BitBltFunction.COPY,
+        src_va=DST_VA + 9, dst_va=DST_VA,
+        words_per_row=8, rows=4, src_pitch=9, dst_pitch=9, shift=0,
+    )
+    after = bmp.rows()
+    for y in range(4):
+        assert after[y][:8] == before[y + 1][:8]
+    assert after[4] == before[4]  # the last row is untouched
+
+
+def test_bandwidth_ordering():
+    """The paper's shape: erase > simple copy > function-of-both."""
+    cpu, src, dst = machine_with_bitmaps(words_per_row=16, rows=24)
+
+    def cycles(function, **kw):
+        return run_bitblt(
+            cpu, function, src_va=SRC_VA, dst_va=DST_VA,
+            words_per_row=16, rows=24, src_pitch=17, dst_pitch=16, **kw
+        )
+
+    cycles(BitBltFunction.COPY, shift=4)  # warm
+    copy = cycles(BitBltFunction.COPY, shift=4)
+    xor = cycles(BitBltFunction.XOR, shift=4)
+    fill = cycles(BitBltFunction.FILL)
+    assert fill < copy < xor
+
+
+def test_parameter_validation():
+    cpu = build_bitblt_machine()
+    with pytest.raises(DoradoError):
+        run_bitblt(cpu, BitBltFunction.FILL, dst_va=0, words_per_row=0, rows=1)
+    with pytest.raises(DoradoError):
+        run_bitblt(cpu, BitBltFunction.COPY, dst_va=0, words_per_row=1, rows=1, shift=16)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    shift=st.integers(0, 15),
+    words=st.integers(1, 6),
+    rows=st.integers(1, 4),
+    seed=st.integers(1, 0xFFFF),
+)
+def test_copy_property(shift, words, rows, seed):
+    cpu = build_bitblt_machine()
+    src = Bitmap(cpu.memory, SRC_VA, words + 1, rows)
+    dst = Bitmap(cpu.memory, DST_VA, words, rows)
+    src.load_pattern(seed)
+    dst.fill(0)
+    run_bitblt(
+        cpu, BitBltFunction.COPY, src_va=SRC_VA, dst_va=DST_VA,
+        words_per_row=words, rows=rows, src_pitch=words + 1,
+        dst_pitch=words, shift=shift,
+    )
+    for y in range(rows):
+        src_words = [src.read_word(y, i) for i in range(words + 1)]
+        assert [dst.read_word(y, i) for i in range(words)] == reference_shifted_row(
+            src_words, shift
+        )
+
+
+# --- pixel-granularity masked fill (bb.fillm) --------------------------------
+
+def reference_fill_rect(rows_before, words_per_row, x, y, w, h, value):
+    rows = [list(r) for r in rows_before]
+    for yy in range(y, y + h):
+        for xx in range(x, x + w):
+            wi, bit = xx // 16, 15 - (xx % 16)
+            if value & 1:
+                rows[yy][wi] |= 1 << bit
+            else:
+                rows[yy][wi] &= ~(1 << bit)
+    return rows
+
+
+@pytest.mark.parametrize(
+    "x,y,w,h",
+    [
+        (0, 0, 16, 1),     # exactly one word
+        (3, 1, 10, 2),     # inside one word
+        (5, 0, 30, 3),     # spans two words with ragged edges
+        (0, 2, 48, 2),     # whole words only
+        (7, 1, 70, 4),     # first/middle/last
+        (17, 0, 1, 1),     # single pixel
+    ],
+)
+def test_fill_rect_pixels_matches_reference(x, y, w, h):
+    from repro.graphics.bitblt import fill_rect_pixels
+
+    cpu = build_bitblt_machine()
+    bmp = Bitmap(cpu.memory, DST_VA, 6, 8)
+    bmp.load_pattern(0x4242)
+    before = bmp.rows()
+    fill_rect_pixels(
+        cpu, base_va=DST_VA, words_per_row=6,
+        x=x, y=y, width=w, height=h, value=0xFFFF,
+    )
+    assert bmp.rows() == reference_fill_rect(before, 6, x, y, w, h, 0xFFFF)
+
+
+def test_fill_rect_pixels_clear():
+    from repro.graphics.bitblt import fill_rect_pixels
+
+    cpu = build_bitblt_machine()
+    bmp = Bitmap(cpu.memory, DST_VA, 4, 4)
+    bmp.fill(0xFFFF)
+    fill_rect_pixels(
+        cpu, base_va=DST_VA, words_per_row=4,
+        x=4, y=1, width=24, height=2, value=0,
+    )
+    before = [[0xFFFF] * 4 for _ in range(4)]
+    assert bmp.rows() == reference_fill_rect(before, 4, 4, 1, 24, 2, 0)
+
+
+def test_fill_rect_validation():
+    from repro.graphics.bitblt import fill_rect_pixels
+
+    cpu = build_bitblt_machine()
+    with pytest.raises(DoradoError):
+        fill_rect_pixels(cpu, base_va=DST_VA, words_per_row=2,
+                         x=0, y=0, width=0, height=1)
+    with pytest.raises(DoradoError):
+        fill_rect_pixels(cpu, base_va=DST_VA, words_per_row=2,
+                         x=30, y=0, width=10, height=1)

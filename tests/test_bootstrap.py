@@ -1,0 +1,107 @@
+"""The resident boot loader: microcode loading microcode."""
+
+import pytest
+
+from repro import Assembler, FF, Processor
+from repro.asm.bootstrap import SENTINEL, boot_loader_microcode, encode_for_boot, stage_boot
+
+TABLE_VA = 0x1000
+
+
+def loader_machine():
+    asm = Assembler()
+    boot_loader_microcode(asm)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map(64)
+    return cpu
+
+
+def target_program():
+    """A payload assembled into pages the loader does not occupy."""
+    asm = Assembler()
+    asm.label("payload")
+    asm.register("acc", 1)
+    asm.emit(r="acc", b=0x2A, alu="B", load="RM")
+    asm.emit(r="acc", b="RM", ff=FF.TRACE)
+    asm.halt()
+    return asm.assemble(base_page=8)
+
+
+def test_encode_layout():
+    image = target_program()
+    words = encode_for_boot(image, "payload")
+    assert len(words) == 4 * len(image.words) + 2
+    assert words[-2] == SENTINEL
+    assert words[-1] == image.address_of("payload")
+    # Quadruples: address then three pieces of the 34-bit word.
+    address, low, mid, high = words[0:4]
+    bits = (high << 32) | (mid << 16) | low
+    assert image.words[address].encode() == bits
+
+
+def test_loader_loads_and_jumps():
+    cpu = loader_machine()
+    image = target_program()
+    stage_boot(cpu, image, "payload", TABLE_VA)
+    cpu.boot(cpu.address_of("boot.load"))
+    cpu.run(10_000)
+    assert cpu.halted
+    assert cpu.console.trace == [0x2A]
+    # The payload really lives in the control store now.
+    assert cpu.im[image.address_of("payload")] == image.words[image.address_of("payload")]
+
+
+def test_loader_handles_large_payload():
+    asm = Assembler()
+    asm.register("acc", 1)
+    asm.label("entry")
+    asm.emit(r="acc", b=0, alu="B", load="RM")
+    asm.emit(count=15)
+    asm.label("loop")
+    asm.emit(r="acc", a="RM", b=1, alu="ADD", load="RM",
+             branch=("COUNT", "loop", "out"))
+    asm.label("out")
+    asm.emit(r="acc", b="RM", ff=FF.TRACE)
+    asm.halt()
+    image = asm.assemble(base_page=16)
+
+    cpu = loader_machine()
+    stage_boot(cpu, image, "entry", TABLE_VA)
+    cpu.boot(cpu.address_of("boot.load"))
+    cpu.run(50_000)
+    assert cpu.halted
+    assert cpu.console.trace == [16]
+
+
+def test_two_stage_boot():
+    """The loader can even load a second loader (bring-up, bottom up)."""
+    stage2_asm = Assembler()
+    boot_loader_microcode(stage2_asm)
+    stage2 = stage2_asm.assemble(base_page=4)
+
+    final_asm = Assembler()
+    final_asm.label("fin")
+    final_asm.emit(b=0x77, alu="B", load="T")
+    final_asm.emit(b="T", ff=FF.TRACE)
+    final_asm.halt()
+    final = final_asm.assemble(base_page=12)
+
+    cpu = loader_machine()
+    # Stage 1 loads stage 2 (whose entry is its own boot.load), having
+    # first pointed the pointer register chain at the second table.
+    stage2_table = 0x1000
+    final_table = 0x2000
+    cpu.memory.storage.load(stage2_table, encode_for_boot(stage2, "boot.load"))
+    cpu.memory.storage.load(final_table, encode_for_boot(final, "fin"))
+    cpu.regs.write_rbase(0, 0)
+    cpu.regs.write_membase(0, 0)
+    cpu.regs.write_rm_absolute(8, stage2_table)
+    cpu.boot(cpu.address_of("boot.load"))
+    # Run stage 1 until it jumps into stage 2's loader...
+    cpu.run_until(lambda m: m.this_pc == stage2.address_of("boot.load"), 20_000)
+    # ...then point the (shared) pointer register at the final table.
+    cpu.regs.write_rm_absolute(8, final_table)
+    cpu.run(50_000)
+    assert cpu.halted
+    assert cpu.console.trace == [0x77]

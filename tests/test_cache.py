@@ -1,0 +1,91 @@
+"""The munch cache: lookup, LRU, write-back, fast-I/O consistency."""
+
+from repro.mem.cache import Cache
+from repro.types import MUNCH_WORDS
+
+
+def filled(cache, address, values=None):
+    values = values or list(range(MUNCH_WORDS))
+    cache.fill(address, values)
+    return values
+
+
+def test_miss_then_hit():
+    cache = Cache(lines=8, ways=2)
+    assert cache.lookup(0x100) is None
+    filled(cache, 0x100)
+    assert cache.contains(0x100)
+    assert cache.read_word(0x105) == 0x105 % MUNCH_WORDS
+
+
+def test_whole_munch_is_resident():
+    cache = Cache(lines=8, ways=2)
+    filled(cache, 0x20, list(range(100, 116)))
+    base = 0x20 & ~(MUNCH_WORDS - 1)
+    for i in range(MUNCH_WORDS):
+        assert cache.read_word(base + i) == 100 + i
+
+
+def test_write_marks_dirty():
+    cache = Cache(lines=8, ways=2)
+    filled(cache, 0)
+    cache.write_word(3, 0xAAAA)
+    assert cache.read_word(3) == 0xAAAA
+    assert cache.stats() == (1, 1)
+
+
+def test_clean_eviction_returns_none():
+    cache = Cache(lines=2, ways=1)  # 2 sets, direct mapped
+    filled(cache, 0)
+    # Same set (set index = munch % 2): munch 2 maps to set 0 too.
+    assert cache.fill(2 * MUNCH_WORDS, [0] * 16) is None
+
+
+def test_dirty_eviction_returns_writeback():
+    cache = Cache(lines=2, ways=1)
+    filled(cache, 0, list(range(16)))
+    cache.write_word(5, 0x5555)
+    writeback = cache.fill(2 * MUNCH_WORDS, [0] * 16)
+    assert writeback is not None
+    address, words = writeback
+    assert address == 0
+    assert words[5] == 0x5555
+
+
+def test_lru_keeps_recently_used():
+    cache = Cache(lines=4, ways=2)  # 2 sets x 2 ways
+    # Munches 0, 2, 4 all land in set 0.
+    filled(cache, 0)
+    filled(cache, 2 * MUNCH_WORDS)
+    cache.lookup(0)  # touch munch 0 so munch 2 is LRU
+    filled(cache, 4 * MUNCH_WORDS)
+    assert cache.contains(0)
+    assert not cache.contains(2 * MUNCH_WORDS)
+    assert cache.contains(4 * MUNCH_WORDS)
+
+
+def test_flush_returns_dirty_data_and_cleans():
+    cache = Cache(lines=8, ways=2)
+    filled(cache, 0)
+    assert cache.flush_munch(0) is None  # clean: nothing to write back
+    cache.write_word(1, 7)
+    flushed = cache.flush_munch(0)
+    assert flushed is not None and flushed[1] == 7
+    assert cache.contains(0)  # flush keeps the line
+    assert cache.stats() == (1, 0)
+
+
+def test_invalidate_drops_line():
+    cache = Cache(lines=8, ways=2)
+    filled(cache, 0x40)
+    assert cache.invalidate_munch(0x40)
+    assert not cache.contains(0x40)
+    assert not cache.invalidate_munch(0x40)
+
+
+def test_invalidate_all():
+    cache = Cache(lines=8, ways=2)
+    filled(cache, 0)
+    filled(cache, 0x100)
+    cache.invalidate_all()
+    assert cache.stats() == (0, 0)

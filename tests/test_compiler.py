@@ -1,0 +1,183 @@
+"""The mini-Mesa compiler: source programs down to byte codes to traces."""
+
+import pytest
+
+from repro.emulators.compiler import CompileError, compile_source, run_source
+from repro.emulators.isa import BytecodeAssembler
+from repro.emulators.mesa import build_mesa_machine
+
+
+def trace_of(source, max_cycles=5_000_000):
+    return run_source(source, max_cycles).cpu.console.trace
+
+
+def test_arithmetic_and_precedence():
+    assert trace_of("proc main() { trace(2 + 3 * 4); }") == [14]
+    assert trace_of("proc main() { trace((2 + 3) * 4); }") == [20]
+    assert trace_of("proc main() { trace(10 - 2 - 3); }") == [5]  # left assoc
+
+
+def test_division_runs_hardware_divsteps():
+    assert trace_of("proc main() { trace(1000 / 7); trace(1000 % 7); }") == [142, 6]
+
+
+def test_sixteen_bit_wraparound():
+    assert trace_of("proc main() { trace(40000 + 40000); }") == [(80000) & 0xFFFF]
+    assert trace_of("proc main() { trace(0 - 1); }") == [0xFFFF]
+
+
+@pytest.mark.parametrize(
+    "expr,expected",
+    [
+        ("3 < 5", 1), ("5 < 3", 0), ("5 > 3", 1),
+        ("4 == 4", 1), ("4 == 5", 0), ("4 != 5", 1), ("4 != 4", 0),
+        ("!1", 0), ("!0", 1), ("-7", 0xFFF9),
+    ],
+)
+def test_comparisons_and_unary(expr, expected):
+    assert trace_of(f"proc main() {{ trace({expr}); }}") == [expected]
+
+
+def test_variables_and_while():
+    source = """
+    proc main() {
+        var total = 0;
+        var i = 10;
+        while i {
+            total = total + i;
+            i = i - 1;
+        }
+        trace(total);
+    }
+    """
+    assert trace_of(source) == [55]
+
+
+def test_if_else_branches():
+    source = """
+    proc pick(x) {
+        if x < 10 { return 1; } else { return 2; }
+    }
+    proc main() { trace(pick(3)); trace(pick(30)); }
+    """
+    assert trace_of(source) == [1, 2]
+
+
+def test_if_without_else():
+    source = """
+    proc main() {
+        var x = 0;
+        if 1 { x = 7; }
+        if 0 { x = 9; }
+        trace(x);
+    }
+    """
+    assert trace_of(source) == [7]
+
+
+def test_recursion():
+    source = """
+    proc fact(n) {
+        if n == 0 { return 1; }
+        return n * fact(n - 1);
+    }
+    proc main() { trace(fact(7)); }
+    """
+    assert trace_of(source) == [5040]
+
+
+def test_mutual_recursion():
+    source = """
+    proc even(n) { if n == 0 { return 1; } return odd(n - 1); }
+    proc odd(n)  { if n == 0 { return 0; } return even(n - 1); }
+    proc main() { trace(even(10)); trace(odd(10)); }
+    """
+    assert trace_of(source) == [1, 0]
+
+
+def test_multiple_arguments():
+    source = """
+    proc mix(a, b, c) { return a * 100 + b * 10 + c; }
+    proc main() { trace(mix(1, 2, 3)); }
+    """
+    assert trace_of(source) == [123]
+
+
+def test_mem_access():
+    source = """
+    proc main() {
+        mem[0x3800] = 41;
+        mem[0x3801] = mem[0x3800] + 1;
+        trace(mem[0x3801]);
+    }
+    """
+    assert trace_of(source) == [42]
+
+
+def test_expression_statement_is_dropped():
+    source = """
+    proc side() { mem[0x3900] = 5; return 99; }
+    proc main() { side(); trace(mem[0x3900]); }
+    """
+    assert trace_of(source) == [5]
+
+
+def test_comments_ignored():
+    assert trace_of("proc main() { # hello\n trace(1); # bye\n }") == [1]
+
+
+def test_sieve_program():
+    """A fuller program: count primes below 50 with a sieve in memory."""
+    source = """
+    proc main() {
+        var i = 2;
+        while i < 50 { mem[0x4800 + i] = 1; i = i + 1; }
+        i = 2;
+        while i < 50 {
+            if mem[0x4800 + i] {
+                var j = i + i;
+                while j < 50 { mem[0x4800 + j] = 0; j = j + i; }
+            }
+            i = i + 1;
+        }
+        var count = 0;
+        i = 2;
+        while i < 50 {
+            if mem[0x4800 + i] { count = count + 1; }
+            i = i + 1;
+        }
+        trace(count);
+    }
+    """
+    assert trace_of(source) == [15]  # primes < 50
+
+
+# --- rejection -------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "source,match",
+    [
+        ("proc f() {}", "no proc main"),
+        ("proc main(x) {}", "no parameters"),
+        ("proc main() { return 1; }", "main cannot return"),
+        ("proc main() { trace(nosuch(1)); }", "unknown proc"),
+        ("proc f(a) { return a; } proc main() { trace(f(1, 2)); }", "takes 1 args"),
+        ("proc main() { var x = 1; var x = 2; }", "declared twice"),
+        ("proc main() { trace(y); }", "undeclared"),
+        ("proc main() { trace(1) }", "expected ;"),
+        ("proc main() { } proc main() { }", "defined twice"),
+    ],
+)
+def test_rejections(source, match):
+    with pytest.raises(CompileError, match=match):
+        ctx = build_mesa_machine()
+        compile_source(source, BytecodeAssembler(ctx.table))
+
+
+def test_too_many_locals_rejected():
+    declarations = "".join(f"var v{i} = 0; " for i in range(15))
+    with pytest.raises(CompileError, match="locals"):
+        ctx = build_mesa_machine()
+        compile_source(
+            f"proc main() {{ {declarations} }}", BytecodeAssembler(ctx.table)
+        )

@@ -1,0 +1,114 @@
+"""Console facilities and microcode image handling."""
+
+import pytest
+
+from repro import Assembler, AssemblyError, FF, Processor
+from repro.asm.program import Image
+from repro.core.console import Console
+from repro.core.microword import MicroInstruction
+
+
+def test_console_im_staging():
+    console = Console(im_size=4096)
+    im = [None] * 4096
+    target = MicroInstruction(rsel=5, ff=0x42)
+    bits = target.encode()
+    console.latch_im_address(100)
+    console.im_write_low(bits & 0xFFFF)
+    console.im_write_mid((bits >> 16) & 0xFFFF)
+    console.im_write_high(bits >> 32, im)
+    assert im[100] == target
+
+
+def test_console_trace_drain():
+    console = Console(im_size=64)
+    console.record_trace(1)
+    console.record_trace(2)
+    assert console.pop_trace() == [1, 2]
+    assert console.trace == []
+
+
+def test_console_clear():
+    console = Console(im_size=64)
+    console.record_trace(5)
+    console.record_notify(7)
+    console.clear()
+    assert not console.trace and not console.notifications
+
+
+def test_image_address_lookup():
+    asm = Assembler()
+    asm.label("here")
+    asm.emit(idle=True)
+    image = asm.assemble()
+    assert image.address_of("here") == image.entry
+    with pytest.raises(AssemblyError):
+        image.address_of("gone")
+
+
+def test_image_encoded_words_roundtrip():
+    asm = Assembler()
+    asm.emit(b=3, alu="B", load="T")
+    asm.halt()
+    image = asm.assemble()
+    for addr, bits in image.encoded().items():
+        assert MicroInstruction.decode(bits) == image.words[addr]
+
+
+def test_image_disassembly_mentions_labels():
+    asm = Assembler()
+    asm.label("entry")
+    asm.emit(ff=FF.HALT, idle=True)
+    image = asm.assemble()
+    listing = image.disassemble()
+    assert any("entry" in text for _, text in listing)
+
+
+def test_image_merge_disjoint():
+    asm1 = Assembler()
+    asm1.label("a")
+    asm1.emit(idle=True)
+    img1 = asm1.assemble()
+
+    asm2 = Assembler()
+    asm2.label("b")
+    asm2.emit(idle=True)
+    img2 = asm2.assemble(base_page=1)
+
+    merged = img1.merged_with(img2)
+    assert merged.address_of("a") != merged.address_of("b")
+    assert len(merged) == 2
+
+
+def test_image_merge_overlap_rejected():
+    asm1 = Assembler()
+    asm1.emit(idle=True)
+    asm2 = Assembler()
+    asm2.emit(idle=True)
+    img1, img2 = asm1.assemble(), asm2.assemble()
+    with pytest.raises(AssemblyError, match="overlap"):
+        img1.merged_with(img2)
+
+
+def test_len_counts_words():
+    asm = Assembler()
+    for _ in range(5):
+        asm.emit(idle=True)
+    assert len(asm.assemble()) == 5
+
+
+def test_processor_single_step_from_console():
+    """The console's view: step one cycle at a time, watch TPC."""
+    asm = Assembler()
+    asm.register("x", 1)
+    asm.emit(r="x", b=1, alu="B", load="RM")
+    asm.emit(r="x", a="RM", b=1, alu="ADD", load="RM")
+    asm.halt()
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    pcs = []
+    for _ in range(3):
+        pcs.append(cpu.this_pc)
+        cpu.step()
+    assert len(set(pcs)) == 3  # made progress each cycle
+    assert cpu.halted

@@ -1,0 +1,55 @@
+"""The performance-counter plumbing."""
+
+from repro.core.counters import Counters
+
+
+def test_record_cycle_accumulates():
+    counters = Counters()
+    counters.record_cycle(0, held=False)
+    counters.record_cycle(0, held=True)
+    counters.record_cycle(5, held=False)
+    assert counters.cycles == 3
+    assert counters.instructions == 2
+    assert counters.held_cycles == 1
+    assert counters.task_cycles[0] == 2
+    assert counters.task_held[0] == 1
+    assert counters.task_instructions[5] == 1
+
+
+def test_occupancy():
+    counters = Counters()
+    for _ in range(3):
+        counters.record_cycle(2, held=False)
+    counters.record_cycle(0, held=False)
+    assert counters.occupancy(2) == 0.75
+    assert Counters().occupancy(1) == 0.0
+
+
+def test_hit_rate():
+    counters = Counters()
+    assert counters.hit_rate == 1.0  # no references yet
+    counters.cache_hits = 9
+    counters.cache_misses = 1
+    assert counters.hit_rate == 0.9
+
+
+def test_delta_and_copy():
+    counters = Counters()
+    counters.record_cycle(1, held=False)
+    counters.cache_hits = 4
+    snapshot = counters.copy()
+    counters.record_cycle(1, held=True)
+    counters.cache_hits = 7
+    delta = counters.delta(snapshot)
+    assert delta.cycles == 1
+    assert delta.held_cycles == 1
+    assert delta.cache_hits == 3
+    assert delta.task_cycles[1] == 1
+    # The snapshot itself is unchanged by later activity.
+    assert snapshot.cycles == 1 and snapshot.cache_hits == 4
+
+
+def test_summary_keys():
+    summary = Counters().summary()
+    for key in ("cycles", "instructions", "held_cycles", "cache_hit_rate"):
+        assert key in summary

@@ -1,0 +1,262 @@
+"""Device controllers end to end: disk, display, network, loopback."""
+
+import pytest
+
+from repro import Assembler, DeviceError, FF, Processor
+from repro.io.device import LoopbackDevice
+from repro.io.disk import DISK_TASK, DiskController, DiskGeometry, disk_microcode
+from repro.io.display import DISPLAY_TASK, DisplayController, display_fast_microcode
+from repro.io.network import NETWORK_TASK, NetworkController, network_microcode
+from repro.types import MUNCH_WORDS
+
+
+def machine(*microcodes):
+    asm = Assembler()
+    asm.emit(idle=True)
+    for emit in microcodes:
+        emit(asm)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map()
+    return cpu
+
+
+# --- disk ------------------------------------------------------------------
+
+def disk_machine(words_per_sector=64):
+    cpu = machine(disk_microcode)
+    disk = DiskController(DiskGeometry(sectors=4, words_per_sector=words_per_sector))
+    cpu.attach_device(disk)
+    return cpu, disk
+
+
+def test_disk_read_transfers_sector():
+    cpu, disk = disk_machine()
+    data = [(i * 7 + 1) & 0xFFFF for i in range(64)]
+    disk.fill_sector(2, data)
+    disk.begin_read(cpu, sector=2, buffer_va=0x2000)
+    cpu.run_until(lambda m: disk.done, max_cycles=50_000)
+    assert disk.done
+    assert [cpu.memory.debug_read(0x2000 + i) for i in range(64)] == data
+
+
+def test_disk_read_rate_and_occupancy():
+    """Section 7: ~10 Mbit/s using ~5% of the processor."""
+    cpu, disk = disk_machine(words_per_sector=128)
+    disk.fill_sector(0, list(range(128)))
+    disk.begin_read(cpu, sector=0, buffer_va=0x2000)
+    cpu.run_until(lambda m: disk.done, max_cycles=50_000)
+    counters = cpu.counters
+    rate = cpu.config.megabits_per_second(128 * 16, counters.cycles)
+    occupancy = counters.task_cycles[DISK_TASK] / counters.cycles
+    assert 8.0 < rate < 12.0
+    assert 0.03 < occupancy < 0.08
+
+
+def test_disk_write_transfers_sector():
+    cpu, disk = disk_machine()
+    data = [(i * 3 + 5) & 0xFFFF for i in range(64)]
+    for i, v in enumerate(data):
+        cpu.memory.debug_write(0x2800 + i, v)
+    disk.begin_write(cpu, sector=1, buffer_va=0x2800)
+    cpu.run_until(lambda m: disk.done, max_cycles=50_000)
+    assert disk.done
+    assert disk.read_sector_image(1) == data
+
+
+def test_disk_busy_rejected():
+    cpu, disk = disk_machine()
+    disk.begin_read(cpu, sector=0, buffer_va=0x2000)
+    with pytest.raises(DeviceError):
+        disk.begin_read(cpu, sector=1, buffer_va=0x3000)
+
+
+def test_disk_read_loop_is_three_cycles_per_two_words():
+    cpu, disk = disk_machine(words_per_sector=64)
+    disk.fill_sector(0, list(range(64)))
+    disk.begin_read(cpu, sector=0, buffer_va=0x2000)
+    cpu.run_until(lambda m: disk.done, max_cycles=50_000)
+    # 32 pairs at 3 cycles + the done path; allow a little slop.
+    task_cycles = cpu.counters.task_cycles[DISK_TASK]
+    assert 96 <= task_cycles <= 110
+
+
+# --- display --------------------------------------------------------------------
+
+def display_machine(**kw):
+    cpu = machine(display_fast_microcode)
+    display = DisplayController(munch_interval_cycles=8, **kw)
+    cpu.attach_device(display)
+    return cpu, display
+
+
+def test_display_band_refresh():
+    cpu, display = display_machine()
+    for i in range(32 * MUNCH_WORDS):
+        cpu.memory.debug_write(0x3000 + i, i)
+    display.begin_band(cpu, 0x3000, 32)
+    cpu.run_until(lambda m: display.done, max_cycles=50_000)
+    assert display.done
+    assert display.underruns == 0
+    assert display.pixels_consumed == 32 * MUNCH_WORDS
+    assert cpu.counters.fastio_munches == 32
+
+
+def test_display_occupancy_quarter():
+    """Section 6.2.1: full bandwidth for 25% of the processor."""
+    cpu, display = display_machine()
+    display.begin_band(cpu, 0x3000, 64)
+    cpu.run_until(lambda m: display.done, max_cycles=50_000)
+    occupancy = cpu.counters.task_cycles[DISPLAY_TASK] / cpu.counters.cycles
+    assert 0.2 < occupancy < 0.3
+
+
+def test_display_grain3_occupancy():
+    """The rejected simpler protocol costs 37.5%."""
+    cpu, display = display_machine(explicit_notify=True)
+    display.begin_band(cpu, 0x3000, 64)
+    cpu.run_until(lambda m: display.done, max_cycles=50_000)
+    occupancy = cpu.counters.task_cycles[DISPLAY_TASK] / cpu.counters.cycles
+    assert 0.33 < occupancy < 0.42
+
+
+def test_display_sees_processor_written_data():
+    """Fast I/O must see dirty cache data (consistency flush)."""
+    cpu, display = display_machine()
+    asmless_value = 0x7E57
+    # Write through the cache (debug_write goes to storage when uncached,
+    # so fetch first to make the line dirty in cache).
+    cpu.memory.start_store(0, 0, 0x3000, asmless_value)
+    display.begin_band(cpu, 0x3000, 1)
+    cpu.run_until(lambda m: display.done, max_cycles=50_000)
+    assert display.pixels_consumed == MUNCH_WORDS
+
+
+# --- network ------------------------------------------------------------------------
+
+def network_machine():
+    cpu = machine(network_microcode)
+    net = NetworkController()
+    cpu.attach_device(net)
+    return cpu, net
+
+
+def test_network_receive_packet():
+    cpu, net = network_machine()
+    packet = [(0x1000 + i) & 0xFFFF for i in range(32)]
+    net.begin_receive(cpu, buffer_va=0x5000, packet_words=32)
+    net.inject_packet(packet)
+    cpu.run_until(lambda m: net.done, max_cycles=100_000)
+    assert net.done and net.packets_received == 1
+    assert [cpu.memory.debug_read(0x5000 + i) for i in range(32)] == packet
+
+
+def test_network_transmit_packet():
+    cpu, net = network_machine()
+    packet = [(0x2000 + i) & 0xFFFF for i in range(16)]
+    for i, v in enumerate(packet):
+        cpu.memory.debug_write(0x5100 + i, v)
+    net.begin_transmit(cpu, buffer_va=0x5100, packet_words=16)
+    cpu.run_until(lambda m: net.done, max_cycles=100_000)
+    assert net.done
+    assert net.tx_words == packet
+
+
+def test_disk_and_network_concurrently():
+    """Two controllers multiplex the processor at different priorities."""
+    cpu = machine(disk_microcode, network_microcode)
+    disk = DiskController(DiskGeometry(sectors=2, words_per_sector=64))
+    net = NetworkController()
+    cpu.attach_device(disk)
+    cpu.attach_device(net)
+    disk.fill_sector(0, list(range(100, 164)))
+    packet = list(range(400, 432))
+    disk.begin_read(cpu, sector=0, buffer_va=0x2000)
+    net.begin_receive(cpu, buffer_va=0x5000, packet_words=32)
+    net.inject_packet(packet)
+    cpu.run_until(lambda m: disk.done and net.done, max_cycles=200_000)
+    assert disk.done and net.done
+    assert [cpu.memory.debug_read(0x2000 + i) for i in range(64)] == list(range(100, 164))
+    assert [cpu.memory.debug_read(0x5000 + i) for i in range(32)] == packet
+    assert cpu.counters.task_cycles[DISK_TASK] > 0
+    assert cpu.counters.task_cycles[NETWORK_TASK] > 0
+
+
+# --- loopback + IOATN -------------------------------------------------------------------
+
+def test_loopback_slow_io_and_attention():
+    asm = Assembler()
+    asm.emit(b=0x10, alu="B", load="T")
+    asm.emit(b="T", ff=FF.IOADDRESS_B)
+    asm.emit(b=0x33, alu="B", load="T")
+    asm.emit(b="T", ff=FF.OUTPUT)                 # push to the loopback FIFO
+    asm.emit(a="T", b="T", alu="XOR",
+             branch=("IOATN", "got", "none"))     # attention is now up
+    asm.label("got")
+    asm.emit(b="INPUT", alu="B", load="T")        # pop it back
+    asm.emit(b="T", ff=FF.TRACE, goto="end")
+    asm.label("none")
+    asm.emit(b=0, alu="B", load="T", goto="end")
+    asm.label("end")
+    asm.emit(ff=FF.HALT, idle=True)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    loop = LoopbackDevice(io_address=0x10)
+    cpu.attach_device(loop)
+    cpu.run(200)
+    assert cpu.halted
+    assert cpu.console.trace == [0x33]
+    assert cpu.counters.slowio_words_out == 1
+    assert cpu.counters.slowio_words_in == 1
+
+
+def test_unknown_ioaddress_raises():
+    asm = Assembler()
+    asm.emit(b=0x77, alu="B", load="T")
+    asm.emit(b="T", ff=FF.IOADDRESS_B)
+    asm.emit(b="T", ff=FF.OUTPUT, idle=True)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    with pytest.raises(DeviceError, match="no device"):
+        cpu.run(10)
+
+
+def test_device_task_collision_rejected():
+    cpu = machine()
+    cpu.attach_device(DiskController())
+    with pytest.raises(DeviceError):
+        cpu.attach_device(DiskController(io_address=0x60))
+
+
+def test_device_address_collision_rejected():
+    cpu = machine()
+    cpu.attach_device(LoopbackDevice(io_address=0x10))
+    with pytest.raises(DeviceError):
+        cpu.attach_device(LoopbackDevice(task=None, io_address=0x11))
+
+
+def test_display_cursor_over_slow_io():
+    """The display uses both I/O systems: pixels over fast I/O, the
+    cursor over the IODATA bus (the paper's Figure 1 discussion)."""
+    from repro.io.display import DISPLAY_IO_ADDRESS, IOREG_CURSOR_X, IOREG_CURSOR_Y
+
+    asm = Assembler()
+    # Task 0 moves the cursor: IOADDRESS -> cursor X, write, then Y.
+    asm.emit(b=DISPLAY_IO_ADDRESS + IOREG_CURSOR_X, alu="B", load="T")
+    asm.emit(b="T", ff=FF.IOADDRESS_B)
+    asm.emit(b=0x64, alu="B", load="T")       # X = 100
+    asm.emit(b="T", ff=FF.OUTPUT)
+    asm.emit(b=DISPLAY_IO_ADDRESS + IOREG_CURSOR_Y, alu="B", load="T")
+    asm.emit(b="T", ff=FF.IOADDRESS_B)
+    asm.emit(b=0x2C, alu="B", load="T")       # Y = 44
+    asm.emit(b="T", ff=FF.OUTPUT)
+    asm.emit(ff=FF.HALT, idle=True)
+    display_fast_microcode(asm)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map(64)
+    display = DisplayController()
+    cpu.attach_device(display)
+    cpu.run(100)
+    assert cpu.halted
+    assert (display.cursor_x, display.cursor_y) == (100, 44)

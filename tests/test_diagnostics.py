@@ -1,0 +1,113 @@
+"""Microcoded diagnostics: the machine checking itself."""
+
+import pytest
+
+from repro import Assembler, MicrocodeCrash, Processor
+from repro.asm.diagnostics import (
+    PASS,
+    REG_ADDR,
+    REG_SUM,
+    alu_selftest_microcode,
+    expected_im_checksum,
+    im_checksum_microcode,
+    rm_march_microcode,
+)
+from repro.core.microword import MicroInstruction
+
+
+def machine(build):
+    asm = Assembler()
+    build(asm)
+    image = asm.assemble()
+    cpu = Processor()
+    cpu.load_image(image)
+    return cpu, image
+
+
+def test_im_checksum_matches_host():
+    cpu, image = machine(im_checksum_microcode)
+    start, count = 0, 64  # the diagnostic's own page
+    cpu.regs.write_rm_absolute(REG_ADDR, start)
+    cpu.regs.write_rm_absolute(REG_SUM, 0)
+    cpu.regs.write_count(count - 1)
+    cpu.boot(cpu.address_of("diag.imsum"))
+    cpu.run(10_000)
+    assert cpu.halted
+    assert cpu.console.trace == [expected_im_checksum(image, start, count)]
+
+
+def test_im_checksum_detects_corruption():
+    cpu, image = machine(im_checksum_microcode)
+    golden = expected_im_checksum(image, 0, 64)
+    # Corrupt one word that the checksum covers but execution does not
+    # reach (an unused slot): flip an uninitialized word to something.
+    hole = next(a for a in range(64) if cpu.im[a] is None)
+    cpu.im[hole] = MicroInstruction(rsel=1)
+    cpu.regs.write_rm_absolute(REG_ADDR, 0)
+    cpu.regs.write_rm_absolute(REG_SUM, 0)
+    cpu.regs.write_count(63)
+    cpu.boot(cpu.address_of("diag.imsum"))
+    cpu.run(10_000)
+    assert cpu.halted
+    assert cpu.console.trace != [golden]
+
+
+def test_rm_march_passes_on_healthy_ram():
+    cpu, _ = machine(rm_march_microcode)
+    cpu.boot(cpu.address_of("diag.rmtest"))
+    cpu.run(10_000)
+    assert cpu.halted
+    assert cpu.console.trace == [PASS]
+
+
+def test_rm_march_catches_injected_fault():
+    """Break the RAM mid-run (a stuck bit) and the march must trap."""
+    cpu, _ = machine(rm_march_microcode)
+    cpu.boot(cpu.address_of("diag.rmtest"))
+    # Let the writes finish, then clobber a register before the checks.
+    for _ in range(18):
+        cpu.step()
+    cpu.regs.write_rm_absolute(7, 0x80)  # stuck bit in register 7
+    with pytest.raises(MicrocodeCrash, match="breakpoint"):
+        cpu.run(10_000)
+
+
+def test_rm_march_in_other_bank():
+    cpu, _ = machine(rm_march_microcode)
+    cpu.regs.write_rbase(0, 5)  # march bank 5 instead
+    cpu.boot(cpu.address_of("diag.rmtest"))
+    cpu.run(10_000)
+    assert cpu.halted
+    assert cpu.console.trace == [PASS]
+    assert cpu.regs.read_rm_absolute(5 * 16 + 9) == 9  # pattern landed there
+
+
+def test_alu_selftest_passes():
+    cpu, _ = machine(alu_selftest_microcode)
+    cpu.boot(cpu.address_of("diag.alutest"))
+    cpu.run(20_000)
+    assert cpu.halted
+    assert cpu.console.trace == [PASS]
+
+
+def test_alu_selftest_catches_broken_alufm():
+    """Reprogram one ALUFM slot behind the diagnostic's back: trap."""
+    from repro.core.alu import AluControl, AluFunc
+
+    cpu, _ = machine(alu_selftest_microcode)
+    cpu.alu.write_alufm(0, AluControl(AluFunc.A_MINUS_B).encode())  # ADD slot
+    cpu.boot(cpu.address_of("diag.alutest"))
+    with pytest.raises(MicrocodeCrash, match="breakpoint"):
+        cpu.run(20_000)
+
+
+def test_all_diagnostics_coexist_in_one_image():
+    def build(asm):
+        im_checksum_microcode(asm)
+        rm_march_microcode(asm)
+        alu_selftest_microcode(asm)
+
+    cpu, _ = machine(build)
+    cpu.boot(cpu.address_of("diag.alutest"))
+    cpu.run(20_000)
+    assert cpu.halted and cpu.console.trace == [PASS]

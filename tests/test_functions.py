@@ -1,0 +1,86 @@
+"""The FF function catalogue banks."""
+
+import pytest
+
+from repro import EncodingError
+from repro.core import functions
+from repro.core.functions import FF
+
+
+def test_banks_do_not_overlap():
+    assert functions.MEMBASE_SMALL_BASE < functions.COUNT_SMALL_BASE
+    assert functions.COUNT_SMALL_BASE < functions.BRANCH_PAIR_BASE
+    assert functions.BRANCH_PAIR_BASE < functions.JUMP_PAGE_BASE
+    assert functions.JUMP_PAGE_BASE < functions.FIXED_BASE
+    # Every fixed function lives in the fixed bank or the low singles.
+    for member in FF:
+        assert member == FF.NOP or member >= functions.FIXED_BASE, member
+
+
+def test_jump_page_roundtrip():
+    for page in (0, 1, 42, 63):
+        ff = functions.jump_page(page)
+        assert functions.is_jump_page(ff)
+        assert functions.bank_argument(ff) == page
+
+
+def test_branch_pair_roundtrip():
+    for pair in (0, 8, 31):
+        ff = functions.branch_pair(pair)
+        assert functions.is_branch_pair(ff)
+        assert functions.bank_argument(ff) == pair
+
+
+def test_count_small_roundtrip():
+    for n in (0, 15):
+        ff = functions.count_small(n)
+        assert functions.is_count_small(ff)
+        assert functions.bank_argument(ff) == n
+
+
+def test_membase_small_roundtrip():
+    for n in (0, 7):
+        ff = functions.membase_small(n)
+        assert functions.is_membase_small(ff)
+        assert functions.bank_argument(ff) == n
+
+
+@pytest.mark.parametrize(
+    "factory,bad",
+    [
+        (functions.jump_page, 64),
+        (functions.branch_pair, 32),
+        (functions.count_small, 16),
+        (functions.membase_small, 8),
+        (functions.jump_page, -1),
+    ],
+)
+def test_bank_range_checks(factory, bad):
+    with pytest.raises(EncodingError):
+        factory(bad)
+
+
+def test_bank_argument_rejects_fixed():
+    with pytest.raises(EncodingError):
+        functions.bank_argument(int(FF.SHIFT_OUT))
+
+
+def test_describe_all_codes():
+    for ff in range(256):
+        assert isinstance(functions.describe(ff), str)
+
+
+def test_describe_named():
+    assert functions.describe(int(FF.OUTPUT)) == "OUTPUT"
+    assert functions.describe(functions.jump_page(3)) == "JumpPage(3)"
+    assert functions.describe(functions.count_small(9)) == "COUNT<-9"
+
+
+def test_result_sources_are_functions():
+    for ff in functions.RESULT_SOURCES:
+        assert isinstance(FF(ff), FF)
+
+
+def test_extb_selectors_include_input():
+    assert FF.INPUT in functions.EXTB_SELECTORS
+    assert FF.EXTB_MEMDATA in functions.EXTB_SELECTORS

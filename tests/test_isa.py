@@ -1,0 +1,124 @@
+"""Byte-code assembler and emulator-context plumbing."""
+
+import json
+
+import pytest
+
+from repro import Assembler, EmulatorError, FF
+from repro.asm.program import Image
+from repro.emulators.isa import BytecodeAssembler
+from repro.emulators.mesa import build_decode_table
+
+
+def make():
+    return BytecodeAssembler(build_decode_table())
+
+
+def test_operand_encoding_byte_and_word():
+    b = make()
+    b.op("LIT", 200)
+    b.op("LITW", 0x1234)
+    assert b.assemble() == [0x01, 200, 0x02, 0x12, 0x34]
+
+
+def test_labels_resolve_to_byte_addresses():
+    b = make()
+    b.op("NOP")
+    b.label("here")
+    b.op("JMP", "here")
+    stream = b.assemble()
+    assert b.address_of("here") == 1
+    assert stream[2:4] == [0x00, 0x01]  # big-endian byte address
+
+
+def test_forward_references():
+    b = make()
+    b.op("JMP", "later")
+    b.op("NOP")
+    b.label("later")
+    b.op("HALT")
+    assert b.assemble()[1:3] == [0x00, 0x04]
+
+
+def test_here_property():
+    b = make()
+    assert b.here == 0
+    b.op("LITW", 5)
+    assert b.here == 3
+
+
+def test_undefined_label_rejected():
+    b = make()
+    b.op("JMP", "nowhere")
+    with pytest.raises(EmulatorError, match="nowhere"):
+        b.assemble()
+
+
+def test_duplicate_label_rejected():
+    b = make()
+    b.label("x")
+    b.op("NOP")
+    with pytest.raises(EmulatorError):
+        b.label("x")
+
+
+def test_wrong_operand_count():
+    b = make()
+    with pytest.raises(EmulatorError, match="operand"):
+        b.op("LIT")
+    with pytest.raises(EmulatorError, match="operand"):
+        b.op("NOP", 1)
+
+
+def test_byte_operand_range():
+    b = make()
+    with pytest.raises(EmulatorError, match="byte"):
+        b.op("LIT", 300)
+
+
+def test_label_in_byte_operand_rejected():
+    b = make()
+    with pytest.raises(EmulatorError, match="WORD"):
+        b.op("LIT", "somewhere")
+
+
+def test_pack_words_big_endian_and_padded():
+    packed = BytecodeAssembler.pack_words([0x12, 0x34, 0x56])
+    assert packed == [0x1234, 0x5600]
+
+
+def test_unknown_mnemonic():
+    b = make()
+    with pytest.raises(EmulatorError):
+        b.op("FROB")
+
+
+# --- image serialization ----------------------------------------------------
+
+def test_image_roundtrips_through_json():
+    asm = Assembler()
+    asm.register("x", 1)
+    asm.label("entry")
+    asm.emit(r="x", b=5, alu="B", load="RM")
+    asm.emit(r="x", b="RM", ff=FF.TRACE)
+    asm.halt()
+    image = asm.assemble()
+    blob = json.dumps(image.to_dict())
+    restored = Image.from_dict(json.loads(blob))
+    assert restored.words == image.words
+    assert restored.symbols == image.symbols
+    assert restored.entry == image.entry
+
+
+def test_restored_image_runs():
+    from repro import Processor
+
+    asm = Assembler()
+    asm.emit(b=9, alu="B", load="T")
+    asm.emit(b="T", ff=FF.TRACE)
+    asm.halt()
+    restored = Image.from_dict(asm.assemble().to_dict())
+    cpu = Processor()
+    cpu.load_image(restored)
+    cpu.run(100)
+    assert cpu.console.trace == [9]

@@ -1,0 +1,88 @@
+"""The polled keyboard: IOATN + INPUT without a task."""
+
+import pytest
+
+from repro import Assembler, FF, Processor
+from repro.io.disk import DiskController, DiskGeometry, disk_microcode
+from repro.io.keyboard import KeyboardDevice, keyboard_microcode
+
+
+def keyboard_machine(extra=()):
+    asm = Assembler()
+    asm.register("buf", 1)
+    asm.label("main")
+    asm.emit(call="kbd.init")
+    asm.emit(r="buf", b=0x2000, alu="B", load="RM")
+    asm.label("next")
+    asm.emit(call="kbd.getch")
+    # Store the key; a zero key (sentinel) ends the run.
+    asm.emit(r="buf", a="RM", b="T", store=True, alu="INC", load="RM")
+    asm.emit(a="T", alu="A", branch=("ZERO", "fin", "more"))
+    asm.label("more")
+    asm.emit(goto="next")
+    asm.label("fin")
+    asm.emit(ff=FF.HALT, idle=True)
+    keyboard_microcode(asm)
+    for emit in extra:
+        emit(asm)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map(64)
+    cpu.boot(cpu.address_of("main"))
+    keyboard = KeyboardDevice()
+    cpu.attach_device(keyboard)
+    return cpu, keyboard
+
+
+def read_buffer(cpu, n):
+    return [cpu.memory.debug_read(0x2000 + i) for i in range(n)]
+
+
+def test_keystrokes_arrive_in_order():
+    cpu, keyboard = keyboard_machine()
+    keyboard.type_text("DORADO")
+    keyboard.press(0)  # sentinel
+    cpu.run(10_000)
+    assert cpu.halted
+    received = read_buffer(cpu, 6)
+    assert bytes(received) == b"DORADO"
+
+
+def test_polling_spins_until_attention():
+    cpu, keyboard = keyboard_machine()
+    for _ in range(200):
+        cpu.step()
+    assert not cpu.halted  # still spinning on IOATN
+    spent = cpu.counters.cycles
+    keyboard.press(ord("X"))
+    keyboard.press(0)
+    cpu.run(10_000)
+    assert cpu.halted
+    assert read_buffer(cpu, 1) == [ord("X")]
+    assert spent >= 190  # the spin consumed the idle cycles
+
+
+def test_attention_drops_when_drained():
+    cpu, keyboard = keyboard_machine()
+    keyboard.press(5)
+    assert keyboard.attention
+    keyboard.press(0)
+    cpu.run(10_000)
+    assert not keyboard.attention
+
+
+def test_typed_while_higher_task_streams():
+    """Keyboard polling from task 0 coexists with the disk task."""
+    cpu, keyboard = keyboard_machine(extra=[disk_microcode])
+    disk = DiskController(DiskGeometry(sectors=2, words_per_sector=64))
+    cpu.attach_device(disk)
+    disk.fill_sector(0, list(range(64)))
+    disk.begin_read(cpu, sector=0, buffer_va=0x3000)
+    keyboard.type_text("OK")
+    keyboard.press(0)
+    cpu.run(50_000)
+    while not disk.done:
+        cpu.halted = False
+        cpu.step()
+    assert bytes(read_buffer(cpu, 2)) == b"OK"
+    assert [cpu.memory.debug_read(0x3000 + i) for i in range(64)] == list(range(64))

@@ -1,0 +1,161 @@
+"""The microcode lint tool."""
+
+import pytest
+
+from repro import Assembler, FF
+from repro.asm.lint import Finding, Severity, lint_image, lint_report, successors
+from repro.core.microword import BSel, MicroInstruction, NextControl, NextType
+
+
+def lint(build, entries=None):
+    asm = Assembler()
+    build(asm)
+    image = asm.assemble()
+    entry_addrs = None
+    if entries is not None:
+        entry_addrs = [image.address_of(e) for e in entries]
+    return image, lint_image(image, entries=entry_addrs)
+
+
+def test_clean_program():
+    def build(asm):
+        asm.emit(b=1, alu="B", load="T")
+        asm.halt()
+
+    _, findings = lint(build)
+    assert findings == []
+    assert lint_report(findings) == "clean: no findings"
+
+
+def test_md_distance_one_warns():
+    def build(asm):
+        asm.register("p", 1)
+        asm.emit(r="p", a="RM", fetch=True)
+        asm.emit(a="MD", alu="A", load="T")  # one cycle later: holds
+        asm.halt()
+
+    _, findings = lint(build)
+    assert any(f.severity == Severity.WARNING and "Hold" in f.message
+               for f in findings)
+
+
+def test_md_distance_two_is_clean():
+    def build(asm):
+        asm.register("p", 1)
+        asm.emit(r="p", a="RM", fetch=True)
+        asm.emit(b=0, alu="B")               # spacer
+        asm.emit(a="MD", alu="A", load="T")
+        asm.halt()
+
+    _, findings = lint(build)
+    assert not any(f.severity == Severity.WARNING for f in findings)
+
+
+def test_md_warning_through_branch_edge():
+    def build(asm):
+        asm.register("p", 1)
+        asm.emit(r="p", a="RM", fetch=True, branch=("ZERO", "t", "f"))
+        asm.label("t")
+        asm.emit(a="MD", alu="A", load="T", goto="end")
+        asm.label("f")
+        asm.emit(b=0, alu="B", goto="end")
+        asm.label("end")
+        asm.halt()
+
+    _, findings = lint(build)
+    warned = [f for f in findings if f.severity == Severity.WARNING]
+    assert len(warned) == 1  # only the true arm consumes MD too early
+
+
+def test_fastio_fetch_not_flagged_as_md_producer():
+    def build(asm):
+        asm.emit(r=0, a="RM", fetch="fast")
+        asm.emit(a="MD", alu="A", load="T")  # MD is stale, but no new Fetch
+        asm.halt()
+
+    _, findings = lint(build)
+    assert not any("Hold" in f.message for f in findings)
+
+
+def test_extb_without_selector_is_error():
+    image_words = {0: MicroInstruction(bsel=BSel.EXTB, ff=0,
+                                       nc=NextControl.pack(NextType.GOTO, 0))}
+    from repro.asm.program import Image
+
+    image = Image(words=image_words, symbols={}, im_size=4096)
+    findings = lint_image(image)
+    assert any(f.severity == Severity.ERROR for f in findings)
+
+
+def test_unreachable_reported():
+    def build(asm):
+        asm.label("main")
+        asm.emit(ff=FF.HALT, idle=True)
+        asm.label("orphan")
+        asm.emit(idle=True)
+
+    image, findings = lint(build, entries=["main"])
+    orphan = image.address_of("orphan")
+    assert any(f.severity == Severity.INFO and f.address == orphan
+               for f in findings)
+
+
+def test_reachability_suppressed_when_graph_incomplete():
+    def build(asm):
+        asm.label("main")
+        asm.emit(nextmacro=True)   # data-dependent successor
+        asm.label("other")
+        asm.emit(ff=FF.HALT, idle=True)
+
+    _, findings = lint(build, entries=["main"])
+    assert not any(f.severity == Severity.INFO for f in findings)
+
+
+def test_successors_of_call_includes_continuation():
+    def build(asm):
+        asm.label("main")
+        asm.emit(call="sub")
+        asm.emit(ff=FF.HALT, idle=True)
+        asm.label("sub")
+        asm.emit(ret=True)
+
+    asm = Assembler()
+    build(asm)
+    image = asm.assemble()
+    main = image.address_of("main")
+    nexts, complete = successors(image, main, 64)
+    assert complete
+    assert set(nexts) == {image.address_of("sub"), main + 1}
+
+
+def test_emulator_microcode_lints_without_errors():
+    """The shipped emulators must be shape-error free; their known MD
+    holds (LL and friends) show up as warnings only."""
+    from repro.emulators.mesa import build_decode_table, emit_microcode
+
+    asm = Assembler()
+    asm.label("entry")
+    asm.emit(nextmacro=True)
+    emit_microcode(asm)
+    image = asm.assemble()
+    findings = lint_image(image)
+    assert not any(f.severity == Severity.ERROR for f in findings), \
+        lint_report(findings)
+    # LL's push-MD-after-fetch is a known, intentional single-cycle hold.
+    assert any(f.severity == Severity.WARNING for f in findings)
+
+
+def test_device_microcode_lints_clean_of_errors():
+    from repro.io.disk import disk_microcode
+    from repro.io.display import display_fast_microcode
+    from repro.io.network import network_microcode
+    from repro.io.timer import timer_microcode
+
+    asm = Assembler()
+    asm.emit(idle=True)
+    for emit in (disk_microcode, display_fast_microcode, network_microcode,
+                 timer_microcode):
+        emit(asm)
+    findings = lint_image(asm.assemble())
+    assert not any(f.severity == Severity.ERROR for f in findings), \
+        lint_report(findings)

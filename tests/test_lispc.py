@@ -1,0 +1,172 @@
+"""The mini-Interlisp compiler."""
+
+import pytest
+
+from repro.emulators.isa import BytecodeAssembler
+from repro.emulators.lisp import build_lisp_machine
+from repro.emulators.lispc import (
+    LispCompileError,
+    compile_lisp,
+    read_program,
+    run_lisp,
+)
+
+
+def trace_of(source, max_cycles=10_000_000):
+    return run_lisp(source, max_cycles).cpu.console.trace
+
+
+# --- the reader --------------------------------------------------------------
+
+def test_reader_nesting():
+    assert read_program("(a (b 1) 2)") == [["a", ["b", 1], 2]]
+
+
+def test_reader_numbers_and_case():
+    assert read_program("42 0x10 -3 FOO") == [42, 16, -3, "foo"]
+
+
+def test_reader_comments():
+    assert read_program("; hi\n(f 1) ; bye") == [["f", 1]]
+
+
+@pytest.mark.parametrize("source", ["(a (b)", "(a))", "("])
+def test_reader_unbalanced(source):
+    with pytest.raises(LispCompileError):
+        read_program(source)
+
+
+# --- basics ---------------------------------------------------------------------
+
+def test_literals_and_arithmetic():
+    assert trace_of("(trace (+ 30 12)) (trace (- 50 8))") == [42, 42]
+
+
+def test_setq_returns_and_persists():
+    assert trace_of("(trace (setq x 7)) (trace (+ x 1))") == [7, 8]
+
+
+def test_progn_value_is_last():
+    assert trace_of("(trace (progn 1 2 3))") == [3]
+
+
+def test_if_only_nil_is_false():
+    assert trace_of("(trace (if nil 1 2))") == [2]
+    assert trace_of("(trace (if 0 1 2))") == [1]  # 0 is truthy in Lisp
+    assert trace_of("(trace (if (cons 1 nil) 1 2))") == [1]
+
+
+def test_if_without_else_yields_nil():
+    assert trace_of("(trace (if nil 5))") == [0]  # NIL's value word
+
+
+def test_predicates():
+    assert trace_of("(trace (null nil))") == [1]
+    assert trace_of("(trace (null 3))") == [0]
+    assert trace_of("(trace (zerop 0)) (trace (zerop 4))") == [1, 0]
+    assert trace_of("(trace (eq 9 9)) (trace (eq 9 8))") == [1, 0]
+    assert trace_of("(trace (atom 5)) (trace (atom (cons 1 nil)))") == [1, 0]
+
+
+def test_list_construction_and_access():
+    source = """
+    (setq l (cons 1 (cons 2 nil)))
+    (trace (car l))
+    (trace (car (cdr l)))
+    (trace (null (cdr (cdr l))))
+    """
+    assert trace_of(source) == [1, 2, 1]
+
+
+def test_rplac_forms():
+    source = """
+    (setq l (cons 1 (cons 2 nil)))
+    (rplacd l nil)
+    (trace (null (cdr l)))
+    """
+    assert trace_of(source) == [1]
+
+
+# --- functions ----------------------------------------------------------------------
+
+def test_defun_and_call():
+    source = """
+    (defun add3 (a b c) (+ a (+ b c)))
+    (trace (add3 10 20 12))
+    """
+    assert trace_of(source) == [42]
+
+
+def test_recursion_with_deep_binding():
+    source = """
+    (defun down (n) (if (zerop n) 0 (+ 1 (down (- n 1)))))
+    (trace (down 25))
+    """
+    assert trace_of(source) == [25]
+
+
+def test_binding_restored_between_calls():
+    source = """
+    (defun probe (x) x)
+    (setq x 111)
+    (probe 5)
+    (trace x)
+    """
+    assert trace_of(source) == [111]
+
+
+def test_mutual_recursion():
+    source = """
+    (defun evenp (n) (if (zerop n) 1 (oddp (- n 1))))
+    (defun oddp (n) (if (zerop n) nil (evenp (- n 1))))
+    (trace (evenp 8))
+    (trace (if (oddp 8) 1 0))
+    """
+    assert trace_of(source) == [1, 0]
+
+
+def test_list_sum_program():
+    source = """
+    (defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))
+    (defun build (n) (if (zerop n) nil (cons n (build (- n 1)))))
+    (trace (sum (build 12)))
+    """
+    assert trace_of(source) == [sum(range(1, 13))]
+
+
+def test_mapcar_style_program():
+    source = """
+    (defun double-all (l)
+      (if (null l) nil (cons (+ (car l) (car l)) (double-all (cdr l)))))
+    (defun sum (l) (if (null l) 0 (+ (car l) (sum (cdr l)))))
+    (setq l (cons 3 (cons 4 nil)))
+    (trace (sum (double-all l)))
+    """
+    assert trace_of(source) == [14]
+
+
+# --- rejection ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "source,match",
+    [
+        ("(nosuch 1)", "unknown form"),
+        ("(defun f (a) a) (trace (f 1 2))", "takes 1 args"),
+        ("(defun f (a) a) (defun f (a) a)", "twice"),
+        ("(car 1 2)", "takes 1 args"),
+        ("(quote (a b))", "quote"),
+        ("(if)", "malformed if"),
+    ],
+)
+def test_rejections(source, match):
+    ctx = build_lisp_machine()
+    with pytest.raises(LispCompileError, match=match):
+        compile_lisp(source, BytecodeAssembler(ctx.table))
+
+
+def test_runtime_type_error_still_traps():
+    """Compiled code keeps Lisp's runtime checking: car of an int traps."""
+    from repro import MicrocodeCrash
+
+    with pytest.raises(MicrocodeCrash):
+        run_lisp("(trace (car 5))")

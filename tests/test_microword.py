@@ -1,0 +1,165 @@
+"""Microinstruction encode/decode and field semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import EncodingError
+from repro.core.microword import (
+    ASel,
+    BSel,
+    Condition,
+    LoadControl,
+    MICROWORD_BITS,
+    MicroInstruction,
+    Misc,
+    NextControl,
+    NextType,
+    constant_value,
+)
+
+
+def random_instructions():
+    return st.builds(
+        MicroInstruction,
+        rsel=st.integers(0, 15),
+        aluop=st.integers(0, 15),
+        bsel=st.sampled_from(list(BSel)),
+        lc=st.sampled_from([LoadControl.NONE, LoadControl.T, LoadControl.RM, LoadControl.RM_T]),
+        asel=st.sampled_from(list(ASel)),
+        block=st.booleans(),
+        ff=st.integers(0, 255),
+        nc=st.integers(0, 255),
+    )
+
+
+@given(random_instructions())
+def test_encode_decode_roundtrip(inst):
+    bits = inst.encode()
+    assert 0 <= bits < (1 << MICROWORD_BITS)
+    assert MicroInstruction.decode(bits) == inst
+
+
+@given(st.integers(0, (1 << MICROWORD_BITS) - 1))
+def test_decode_encode_roundtrip(bits):
+    try:
+        decoded = MicroInstruction.decode(bits)
+    except EncodingError:
+        # Reserved LoadControl encodings are legitimately rejected.
+        lc_bits = (bits >> 20) & 0x7
+        assert lc_bits > int(LoadControl.RM_T)
+        return
+    assert decoded.encode() == bits
+
+
+def test_word_is_34_bits():
+    # Section 6.3.1: RAddress 4 + ALUOp 4 + BSelect 3 + LoadControl 3 +
+    # ASelect 3 + Block 1 + FF 8 + NextControl 8 = 34.
+    assert MICROWORD_BITS == 34
+    full = MicroInstruction(
+        rsel=15, aluop=15, bsel=BSel.CONST_HO, lc=LoadControl.RM_T,
+        asel=ASel.T_STORE, block=True, ff=255, nc=255,
+    )
+    # All fields except LoadControl (3 = 0b011 in a 3-bit field) saturate.
+    assert full.encode() == ((1 << 34) - 1) & ~(0x4 << 20)
+
+
+def test_decode_rejects_reserved_loadcontrol():
+    with pytest.raises(EncodingError):
+        MicroInstruction.decode(0x7 << 20)
+
+
+def test_field_overflow_rejected():
+    with pytest.raises(EncodingError):
+        MicroInstruction(rsel=16)
+    with pytest.raises(EncodingError):
+        MicroInstruction(ff=256)
+    with pytest.raises(EncodingError):
+        MicroInstruction(nc=-1)
+
+
+def test_decode_rejects_wide_values():
+    with pytest.raises(EncodingError):
+        MicroInstruction.decode(1 << 34)
+
+
+# --- the section 5.9 constant scheme ------------------------------------
+
+@pytest.mark.parametrize(
+    "bsel,ff,expected",
+    [
+        (BSel.CONST_LZ, 0x2A, 0x002A),
+        (BSel.CONST_HZ, 0x2A, 0x2A00),
+        (BSel.CONST_LO, 0xFB, 0xFFFB),  # small negative: -5
+        (BSel.CONST_HO, 0x12, 0x12FF),
+    ],
+)
+def test_constant_forms(bsel, ff, expected):
+    assert constant_value(bsel, ff) == expected
+
+
+def test_constant_requires_constant_bsel():
+    with pytest.raises(EncodingError):
+        constant_value(BSel.RM, 0)
+
+
+def test_is_constant_predicate():
+    assert BSel.CONST_LZ.is_constant
+    assert BSel.CONST_HO.is_constant
+    assert not BSel.RM.is_constant
+    assert not BSel.EXTB.is_constant
+
+
+# --- ASel helpers -----------------------------------------------------------
+
+def test_asel_reference_predicates():
+    assert ASel.RM_FETCH.starts_fetch and ASel.T_FETCH.starts_fetch
+    assert ASel.RM_STORE.starts_store and ASel.T_STORE.starts_store
+    assert not ASel.RM.starts_reference
+    assert ASel.MEMDATA.uses_memdata
+    assert ASel.IFUDATA.uses_ifudata
+
+
+def test_load_control_predicates():
+    assert LoadControl.T.loads_t and not LoadControl.T.loads_rm
+    assert LoadControl.RM.loads_rm and not LoadControl.RM.loads_t
+    assert LoadControl.RM_T.loads_t and LoadControl.RM_T.loads_rm
+    assert not LoadControl.NONE.loads_t
+
+
+# --- NextControl packing ------------------------------------------------------
+
+def test_nextcontrol_pack_unpack():
+    nc = NextControl.pack(NextType.GOTO, 42)
+    assert NextControl.kind(nc) == NextType.GOTO
+    assert NextControl.payload(nc) == 42
+
+
+def test_nextcontrol_payload_range():
+    with pytest.raises(EncodingError):
+        NextControl.pack(NextType.GOTO, 64)
+
+
+def test_branch_packing():
+    nc = NextControl.branch(Condition.CARRY, 5)
+    assert NextControl.kind(nc) == NextType.BRANCH
+    assert NextControl.branch_condition(nc) == Condition.CARRY
+    assert NextControl.branch_pair(nc) == 5
+
+
+def test_branch_pair_limited_without_ff():
+    # Only the first 8 pairs fit in NextControl (section 5.5 / DESIGN.md).
+    with pytest.raises(EncodingError):
+        NextControl.branch(Condition.ALU_ZERO, 8)
+
+
+def test_stack_delta_two_complement():
+    assert MicroInstruction(rsel=1).stack_delta == 1
+    assert MicroInstruction(rsel=7).stack_delta == 7
+    assert MicroInstruction(rsel=0xF).stack_delta == -1
+    assert MicroInstruction(rsel=0x8).stack_delta == -8
+
+
+def test_describe_is_stringy():
+    inst = MicroInstruction(block=True, nc=NextControl.pack(NextType.MISC, int(Misc.RETURN) << 3))
+    text = inst.describe()
+    assert "BLOCK" in text and "RETURN" in text

@@ -1,0 +1,120 @@
+"""The less-travelled NEXTPC types, exercised with hand-placed microcode.
+
+DISPATCH256 and CALL_FF carry constraints the automatic placer does not
+emit (256-aligned regions, page-offset-0..7 entries), so these tests
+build IM images by hand -- the way early bring-up microcode was written.
+"""
+
+import pytest
+
+from repro import EncodingError, FF, Processor
+from repro.core.microword import (
+    BSel,
+    LoadControl,
+    MicroInstruction,
+    Misc,
+    NextControl,
+    NextType,
+)
+from repro.core.nextpc import ControlSection, NextOutcome
+from repro.config import PRODUCTION
+
+
+def misc(code, arg=0):
+    return NextControl.pack(NextType.MISC, (int(code) << 3) | arg)
+
+
+def put(cpu, address, **fields):
+    cpu.im[address] = MicroInstruction(**fields)
+
+
+def test_dispatch256_selects_by_b():
+    """NEXTPC <- 256-aligned region + (B & 0xFF)."""
+    cpu = Processor()
+    # Dispatcher at 0: B = the constant 5, region = pages 4..7 (0x100).
+    put(cpu, 0, bsel=BSel.CONST_LZ, ff=5, aluop=7,  # B = 5 via constant...
+        nc=misc(Misc.IDLE))
+    # Constants occupy FF, so load B from T instead: T <- 5 first.
+    put(cpu, 0, bsel=BSel.CONST_LZ, ff=5, aluop=7, lc=LoadControl.T,
+        nc=NextControl.pack(NextType.GOTO, 1))
+    from repro.core import functions
+    put(cpu, 1, bsel=BSel.T, aluop=7, ff=functions.jump_page(4),
+        nc=misc(Misc.DISPATCH256))
+    # Slot 0x100 + 5: trace T then halt.
+    put(cpu, 0x105, bsel=BSel.T, ff=int(FF.TRACE),
+        nc=NextControl.pack(NextType.GOTO, 6))
+    put(cpu, 0x106, ff=int(FF.HALT), nc=misc(Misc.IDLE))
+    cpu.boot(0)
+    cpu.run(100)
+    assert cpu.halted
+    assert cpu.console.trace == [5]
+
+
+def test_dispatch256_region_must_be_aligned():
+    control = ControlSection(PRODUCTION)
+    inst = MicroInstruction(nc=misc(Misc.DISPATCH256))  # no JumpPage FF
+    with pytest.raises(EncodingError, match="JumpPage"):
+        control.compute(inst, 0, 0, False, 0, ff_is_function=True)
+
+
+def test_call_ff_reaches_far_entry():
+    """CALL_FF: long call to page-offset arg of the FF page."""
+    from repro.core import functions
+
+    cpu = Processor()
+    put(cpu, 0, ff=functions.jump_page(10),
+        nc=NextControl.pack(NextType.MISC, (int(Misc.CALL_FF) << 3) | 3))
+    # Continuation at 1 (LINK <- 1): the subroutine returns here.
+    put(cpu, 1, ff=int(FF.HALT), nc=misc(Misc.IDLE))
+    # The subroutine entry at page 10, offset 3.
+    entry = 10 * 64 + 3
+    put(cpu, entry, bsel=BSel.CONST_LZ, ff=0x2B, aluop=7, lc=LoadControl.T)
+    cpu.im[entry] = MicroInstruction(
+        bsel=BSel.CONST_LZ, ff=0x2B, aluop=7, lc=LoadControl.T,
+        nc=NextControl.pack(NextType.GOTO, 4),
+    )
+    put(cpu, 10 * 64 + 4, bsel=BSel.T, ff=int(FF.TRACE), nc=misc(Misc.RETURN))
+    cpu.boot(0)
+    cpu.run(100)
+    assert cpu.halted
+    assert cpu.console.trace == [0x2B]
+
+
+def test_notify_records_pc_and_continues():
+    cpu = Processor()
+    put(cpu, 8, nc=misc(Misc.NOTIFY))
+    put(cpu, 9, ff=int(FF.HALT), nc=misc(Misc.IDLE))
+    cpu.boot(8)
+    cpu.run(10)
+    assert cpu.halted
+    assert cpu.console.notifications == [8]
+
+
+def test_idle_spins_in_place():
+    cpu = Processor()
+    put(cpu, 4, nc=misc(Misc.IDLE))
+    cpu.boot(4)
+    for _ in range(5):
+        cpu.step()
+    assert cpu.this_pc == 4
+
+
+def test_return_call_swaps_link():
+    """RETURN_CALL: NEXTPC <- LINK while LINK <- THISPC+1 (coroutines)."""
+    control = ControlSection(PRODUCTION)
+    control.write_link(0, 0x80)
+    inst = MicroInstruction(
+        nc=NextControl.pack(NextType.MISC, int(Misc.RETURN_CALL) << 3)
+    )
+    result = control.compute(inst, 0x20, 0, False, 0)
+    assert result.outcome == NextOutcome.JUMP
+    assert result.target == 0x80
+    assert control.read_link(0) == 0x21
+
+
+def test_link_is_task_specific():
+    control = ControlSection(PRODUCTION)
+    control.write_link(3, 0x111)
+    control.write_link(9, 0x222)
+    assert control.read_link(3) == 0x111
+    assert control.read_link(9) == 0x222

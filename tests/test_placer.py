@@ -1,0 +1,254 @@
+"""The automatic instruction placer (section 5.5 / section 7)."""
+
+import pytest
+
+from repro import Assembler, MachineConfig, PlacementError, PRODUCTION, Processor, FF
+from repro.asm.placer import place
+from repro.core.microword import NextControl, NextType
+from repro.core import functions
+
+
+def assemble(build, config=PRODUCTION):
+    asm = Assembler(config)
+    build(asm)
+    return asm.assemble(), asm
+
+
+def test_branch_pair_layout():
+    def build(asm):
+        asm.label("top")
+        asm.emit(branch=("ZERO", "t", "f"))
+        asm.label("t")
+        asm.emit(idle=True)
+        asm.label("f")
+        asm.emit(idle=True)
+
+    image, _ = assemble(build)
+    f_addr = image.address_of("f")
+    t_addr = image.address_of("t")
+    assert f_addr % 2 == 0, "false targets sit at even addresses (section 5.5)"
+    assert t_addr == f_addr + 1, "true target at the next odd address"
+    # All three share a page.
+    page = image.address_of("top") // 64
+    assert f_addr // 64 == page
+
+
+def test_duplicate_branch_target_rejected():
+    """Several conditional branches cannot share a target (section 5.5)."""
+
+    def build(asm):
+        asm.emit(branch=("ZERO", "shared", "f1"))
+        asm.label("f1")
+        asm.emit(branch=("CARRY", "shared", "f2"))
+        asm.label("f2")
+        asm.emit(idle=True)
+        asm.label("shared")
+        asm.emit(idle=True)
+
+    with pytest.raises(PlacementError, match="duplicate the target"):
+        assemble(build)
+
+
+def test_same_pair_may_be_shared():
+    def build(asm):
+        asm.emit(branch=("ZERO", "t", "f"))
+        asm.emit(branch=("CARRY", "t", "f"))
+        asm.label("t")
+        asm.emit(idle=True)
+        asm.label("f")
+        asm.emit(idle=True)
+
+    image, _ = assemble(build)
+    assert image.address_of("t") == image.address_of("f") + 1
+
+
+def test_identical_branch_targets_rejected():
+    def build(asm):
+        asm.emit(branch=("ZERO", "x", "x"))
+        asm.label("x")
+        asm.emit(idle=True)
+
+    with pytest.raises(PlacementError, match="identical"):
+        assemble(build)
+
+
+def test_call_continuation_is_adjacent():
+    """LINK <- THISPC+1: the op after a call must be placed at +1."""
+
+    def build(asm):
+        asm.label("main")
+        asm.emit(call="sub")
+        asm.label("after")
+        asm.emit(idle=True)
+        asm.label("sub")
+        asm.emit(ret=True)
+
+    image, _ = assemble(build)
+    assert image.address_of("after") == image.address_of("main") + 1
+
+
+def test_chained_calls_form_runs():
+    def build(asm):
+        asm.label("c1")
+        asm.emit(call="sub")
+        asm.label("c2")
+        asm.emit(call="sub")
+        asm.label("end")
+        asm.emit(idle=True)
+        asm.label("sub")
+        asm.emit(ret=True)
+
+    image, _ = assemble(build)
+    c1 = image.address_of("c1")
+    assert image.address_of("c2") == c1 + 1
+    assert image.address_of("end") == c1 + 2
+
+
+def test_call_as_last_op_rejected():
+    def build(asm):
+        asm.label("sub")
+        asm.emit(ret=True)
+        asm.emit(call="sub")
+
+    with pytest.raises(PlacementError, match="no continuation"):
+        assemble(build)
+
+
+def test_cross_page_goto_gets_jump_page_assist():
+    """A free FF carries the page number; a busy FF forces same-page."""
+
+    def build(asm):
+        asm.label("a")
+        # Enough filler to force multiple pages.
+        for i in range(70):
+            asm.emit(r=i % 16, goto=f"x{i}")
+            asm.label(f"x{i}")
+        asm.emit(goto="a")
+
+    image, asm = assemble(build)
+    assert asm.report.pages_used >= 2
+    assert asm.report.ff_assists > 0
+    # Execution still reaches everything: addresses resolve to real words.
+    assert len(image.words) == len(asm.ops)
+
+
+def test_busy_ff_forces_same_page():
+    def build(asm):
+        asm.label("a")
+        asm.emit(ff=FF.TRACE, b="T", goto="b")  # FF busy: must share b's page
+        asm.label("b")
+        asm.emit(idle=True)
+
+    image, _ = assemble(build)
+    assert image.address_of("a") // 64 == image.address_of("b") // 64
+
+
+def test_oversized_cluster_rejected():
+    config = MachineConfig(page_size=16, im_size=1024)
+
+    def build(asm):
+        # A chain of busy-FF gotos all forced into one page, too big for it.
+        for i in range(17):
+            asm.label(f"n{i}")
+            asm.emit(ff=FF.TRACE, b="T", goto=f"n{(i + 1) % 17}")
+
+    with pytest.raises(PlacementError, match="exceeds"):
+        assemble(build, config)
+
+
+def test_dispatch8_run_alignment():
+    def build(asm):
+        targets = [f"d{i}" for i in range(8)]
+        asm.label("disp")
+        asm.emit(b="T", dispatch8=targets)
+        for t in targets:
+            asm.label(t)
+            asm.emit(idle=True)
+
+    image, _ = assemble(build)
+    base = image.address_of("d0")
+    assert base % 8 == 0
+    for i in range(8):
+        assert image.address_of(f"d{i}") == base + i
+
+
+def test_dispatch8_wrong_count_rejected():
+    def build(asm):
+        asm.emit(dispatch8=["a", "b"])
+        asm.label("a")
+        asm.emit(idle=True)
+        asm.label("b")
+        asm.emit(idle=True)
+
+    with pytest.raises(PlacementError, match="exactly 8"):
+        assemble(build)
+
+
+def test_undefined_label_rejected():
+    def build(asm):
+        asm.emit(goto="nowhere")
+
+    with pytest.raises(PlacementError, match="nowhere"):
+        assemble(build)
+
+
+def test_duplicate_label_rejected():
+    def build(asm):
+        asm.label("x")
+        asm.emit(idle=True)
+        asm.label("x")
+        asm.emit(idle=True)
+
+    with pytest.raises(PlacementError, match="defined twice"):
+        assemble(build)
+
+
+def test_program_too_big_rejected():
+    config = MachineConfig(im_size=128, page_size=64)
+
+    def build(asm):
+        for _ in range(150):
+            asm.emit(idle=True)
+
+    with pytest.raises(PlacementError, match="pages"):
+        assemble(build, config)
+
+
+def test_dispatch8_executes():
+    asm = Assembler()
+    asm.register("sel", 1)
+    targets = [f"d{i}" for i in range(8)]
+    asm.emit(r="sel", b=5, alu="B", load="RM")
+    asm.emit(r="sel", b="RM", dispatch8=targets)
+    for i, t in enumerate(targets):
+        asm.label(t)
+        asm.emit(b=i, alu="B", goto="out")
+    asm.label("out")
+    asm.emit(r="sel", b="RM", ff=FF.TRACE)
+    asm.halt()
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.run(100)
+    assert cpu.halted
+
+
+def test_utilization_reported():
+    asm = Assembler()
+    for i in range(100):
+        asm.emit(idle=True)
+    asm.assemble()
+    report = asm.report
+    assert report.instructions == 100
+    assert report.pages_used == 2
+    assert 0.7 < report.utilization <= 1.0
+
+
+def test_high_fill_utilization():
+    """The section 7 claim in miniature: a nearly full store places with
+    very little waste."""
+    from repro.perf.report import synthetic_microprogram
+
+    asm = Assembler()
+    synthetic_microprogram(asm, int(PRODUCTION.im_size * 0.9), seed=7)
+    asm.assemble()
+    assert asm.report.utilization > 0.98

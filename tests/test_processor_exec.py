@@ -1,0 +1,496 @@
+"""Processor execution semantics, instruction by instruction.
+
+Each test assembles a small microprogram, runs it to HALT, and checks
+architectural state -- the same way the real machine was checked from
+its console.
+"""
+
+import pytest
+
+from repro import Assembler, FF, MODEL0, MicrocodeCrash, PRODUCTION, Processor
+from repro.core.shifter import ShiftControl, field_control
+from tests.conftest import run_microcode
+
+
+def trace_of(build, **kw):
+    return run_microcode(build, **kw).console.trace
+
+
+# --- ALU data paths through microcode ---------------------------------------
+
+def test_constants_and_alu():
+    def build(asm):
+        asm.register("x", 1)
+        asm.emit(r="x", b=0x42, alu="B", load="RM")
+        asm.emit(r="x", a="RM", b=0x0100, alu="ADD", load="RM")
+        asm.emit(r="x", b="RM", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x142]
+
+
+def test_negative_constant_forms():
+    def build(asm):
+        asm.emit(b=0xFFFB, alu="B", load="T")  # -5, via CONST_LO
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0xFFFB]
+
+
+def test_t_is_working_storage():
+    def build(asm):
+        asm.emit(b=7, alu="B", load="T")
+        asm.emit(a="T", b="T", alu="ADD", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [14]
+
+
+def test_load_rm_and_t_together():
+    def build(asm):
+        asm.register("x", 2)
+        asm.emit(r="x", b=9, alu="B", load="RM_T")
+        asm.emit(r="x", a="RM", b="T", alu="ADD", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [18]
+
+
+# --- bypassing (section 5.6) ---------------------------------------------------
+
+def test_bypass_gives_fresh_value():
+    def build(asm):
+        asm.register("x", 1)
+        asm.emit(r="x", b=1, alu="B", load="RM")
+        asm.emit(r="x", a="RM", b=1, alu="ADD", load="RM")  # uses previous result
+        asm.emit(r="x", b="RM", ff=FF.TRACE)
+
+    assert trace_of(build) == [2]
+
+
+def test_model0_reads_stale_value_one_deep():
+    """Without bypassing, a use-after-write one instruction deep sees the
+    old register -- the Model 0 behaviour (section 5.6)."""
+
+    def build(asm):
+        asm.register("x", 1)
+        asm.emit(r="x", b=1, alu="B", load="RM")    # x <- 1 (lands later)
+        asm.emit(r="x", b=5, alu="B", load="T")     # spacer: x write lands
+        asm.emit(r="x", a="RM", b=0, alu="ADD", load="T")  # reads x = 1 now
+        asm.emit(b="T", ff=FF.TRACE)
+        asm.emit(r="x", b=9, alu="B", load="RM")
+        asm.emit(r="x", a="RM", alu="A", load="T")  # immediate use: stale!
+        asm.emit(b="T", ff=FF.TRACE)
+
+    trace = trace_of(build, config=MODEL0)
+    # Both TRACE reads themselves see one-instruction-old values: the
+    # first sees T still holding 5 (instruction 3's write had not landed),
+    # the second sees T = 1 because instruction 6 read the stale x.
+    assert trace == [5, 1]
+
+
+def test_model1_same_code_gets_fresh():
+    def build(asm):
+        asm.register("x", 1)
+        asm.emit(r="x", b=9, alu="B", load="RM")
+        asm.emit(r="x", a="RM", alu="A", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build, config=PRODUCTION) == [9]
+
+
+# --- branch conditions (all eight) ----------------------------------------------
+
+@pytest.mark.parametrize(
+    "cond,a,b,alu,expected",
+    [
+        ("ZERO", 5, 5, "SUB", 1),
+        ("ZERO", 5, 4, "SUB", 0),
+        ("NONZERO", 5, 4, "SUB", 1),
+        ("NEG", 3, 5, "SUB", 1),
+        ("NEG", 5, 3, "SUB", 0),
+        ("CARRY", 0xFFFF, 1, "ADD", 1),
+        ("CARRY", 1, 1, "ADD", 0),
+        ("ODD", 3, 0, "ADD", 1),
+        ("ODD", 2, 0, "ADD", 0),
+        ("OVF", 0x7FFF, 1, "ADD", 1),
+        ("OVF", 1, 1, "ADD", 0),
+    ],
+)
+def test_conditions(cond, a, b, alu, expected):
+    def build(asm):
+        asm.emit(b=a, alu="B", load="T")
+        asm.emit(a="T", b=b, alu=alu, branch=(cond, "yes", "no"))
+        asm.label("yes")
+        asm.emit(b=1, alu="B", ff=None, load="T", goto="out")
+        asm.label("no")
+        asm.emit(b=0, alu="B", load="T", goto="out")
+        asm.label("out")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [expected]
+
+
+def test_count_loop():
+    """COUNT is decremented and tested in one instruction (section 6.3.3)."""
+
+    def build(asm):
+        asm.register("acc", 1)
+        asm.emit(r="acc", b=0, alu="B", load="RM")
+        asm.emit(count=4)
+        asm.label("loop")
+        asm.emit(r="acc", a="RM", b=1, alu="ADD", load="RM",
+                 branch=("COUNT", "loop", "done"))
+        asm.label("done")
+        asm.emit(r="acc", b="RM", ff=FF.TRACE)
+
+    # COUNT=4: the loop body executes 5 times (tests 4,3,2,1,0).
+    assert trace_of(build) == [5]
+
+
+# --- calls, returns, LINK ---------------------------------------------------------
+
+def test_call_and_return():
+    def build(asm):
+        asm.emit(b=1, alu="B", load="T")
+        asm.emit(call="double")
+        asm.emit(call="double")       # continuation of the first call
+        asm.emit(b="T", ff=FF.TRACE, goto="end")
+        asm.label("double")
+        asm.emit(a="T", b="T", alu="ADD", load="T", ret=True)
+        asm.label("end")
+        asm.emit(ff=FF.HALT, idle=True)
+
+    assert trace_of(build) == [4]
+
+
+def test_link_readable_and_writable():
+    def build(asm):
+        asm.emit(b=0x15, alu="B", load="T")
+        asm.emit(b="T", ff=FF.LINK_B)         # LINK <- 0x15
+        asm.emit(b="LINK", alu="B", ff=None, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x15]
+
+
+def test_computed_return():
+    """A plain call/return pair resumes at the continuation."""
+
+    def build(asm):
+        asm.emit(b=1, alu="B", load="T")
+        asm.emit(call="probe")
+        asm.emit(b="T", ff=FF.TRACE)
+        asm.halt()
+        asm.label("probe")
+        asm.emit(a="T", b=1, alu="ADD", load="T", ret=True)
+
+    assert trace_of(build) == [2]
+
+
+# --- stack operations (Block bit on task 0) ----------------------------------------
+
+def test_stack_push_pop_via_microcode():
+    def build(asm):
+        asm.emit(stack=1, b=0x11, alu="B", load="RM")   # push 0x11
+        asm.emit(stack=1, b=0x22, alu="B", load="RM")   # push 0x22
+        asm.emit(stack=-1, b="RM", alu="B", load="T")   # pop -> T
+        asm.emit(b="T", ff=FF.TRACE)
+        asm.emit(stack=-1, b="RM", alu="B", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x22, 0x11]
+
+
+def test_stackptr_readable():
+    def build(asm):
+        asm.emit(stack=1, b=1, alu="B", load="RM")
+        asm.emit(stack=1, b=2, alu="B", load="RM")
+        asm.emit(ff=FF.READ_STACKPTR, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [2]
+
+
+def test_stack_underflow_latches_fault():
+    def build(asm):
+        asm.emit(stack=-1)
+        asm.emit(ff=FF.READ_FAULTS, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    trace = trace_of(build)
+    assert trace[0] & (0x10 << 3)  # stack-0 underflow bit above memory faults
+
+
+# --- shifter through microcode ---------------------------------------------------------
+
+def test_shift_field_extract():
+    def build(asm):
+        asm.register("w", 1)
+        control = field_control(4, 6).encode()
+        asm.load_constant("w", 0x0A50)
+        asm.load_constant(2, control)
+        asm.emit(r=2, b="RM", ff=FF.SHIFTCTL_B)
+        asm.emit(r="w", ff=FF.SHIFT_MASKZ, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [(0x0A50 >> 4) & 0x3F]
+
+
+def test_result_one_bit_shifts():
+    def build(asm):
+        asm.emit(b=0x21, alu="B", load="T")
+        asm.emit(a="T", alu="A", ff=FF.RESULT_LSH, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+        asm.emit(b=0x21, alu="B", load="T")
+        asm.emit(a="T", alu="A", ff=FF.RESULT_RSH, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x42, 0x10]
+
+
+# --- multiply / divide steps --------------------------------------------------------------
+
+def test_multiply_via_mulsteps():
+    def build(asm):
+        asm.register("m", 1)
+        asm.emit(r="m", b=0x00B3, alu="B", load="RM")  # multiplicand
+        asm.emit(b=0x0025, alu="B", load="T")
+        asm.emit(b="T", ff=FF.Q_B)                      # multiplier in Q
+        asm.emit(b=0, alu="B", load="T")                # clear accumulator
+        for _ in range(16):
+            asm.emit(r="m", a="RM", ff=FF.MULSTEP)
+        asm.emit(b="T", ff=FF.TRACE)                    # product high
+        asm.emit(b="Q", alu="B", load="T")
+        asm.emit(b="T", ff=FF.TRACE)                    # product low
+
+    trace = trace_of(build)
+    product = (trace[0] << 16) | trace[1]
+    assert product == 0xB3 * 0x25
+
+
+@pytest.mark.parametrize("dividend,divisor", [(100, 7), (0xFFFF, 3), (5, 9)])
+def test_divide_via_divsteps(dividend, divisor):
+    def build(asm):
+        asm.register("d", 1)
+        asm.register("rem", 3)
+        asm.load_constant("d", divisor)
+        asm.emit(b=0, alu="B", load="T")  # remainder = 0
+        asm.load_constant(2, dividend)
+        asm.emit(r=2, b="RM", ff=FF.Q_B)  # dividend low in Q
+        for _ in range(16):
+            asm.emit(r="d", a="RM", ff=FF.DIVSTEP)
+        asm.emit(r="rem", b="T", alu="B", load="RM")  # remainder
+        asm.emit(b="Q", alu="B", load="T")
+        asm.emit(b="T", ff=FF.TRACE)      # quotient
+        asm.emit(r="rem", b="RM", ff=FF.TRACE)
+
+    trace = trace_of(build)
+    assert trace[0] == dividend // divisor
+    assert trace[1] == dividend % divisor
+
+
+# --- Q, COUNT, RBASE, MEMBASE plumbing ---------------------------------------------
+
+def test_q_register_on_a_and_b():
+    def build(asm):
+        asm.emit(b=6, alu="B", load="T")
+        asm.emit(b="T", ff=FF.Q_B)
+        asm.emit(a="Q", b="Q", alu="ADD", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [12]
+
+
+def test_rbase_switching():
+    def build(asm):
+        asm.emit(b=2, alu="B", load="T")
+        asm.emit(b="T", ff=FF.RBASE_B)           # bank 2
+        asm.emit(r=0, b=0x77, alu="B", load="RM")  # writes RM[0x20]
+        asm.emit(b=0, alu="B", load="T")
+        asm.emit(b="T", ff=FF.RBASE_B)           # back to bank 0
+        asm.emit(r=0, b=0x11, alu="B", load="RM")  # writes RM[0x00]
+        asm.emit(ff=FF.READ_RBASE, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    cpu = run_microcode(build)
+    assert cpu.console.trace == [0]
+    assert cpu.regs.read_rm_absolute(0x20) == 0x77
+    assert cpu.regs.read_rm_absolute(0x00) == 0x11
+
+
+def test_membase_small_bank():
+    def build(asm):
+        asm.emit(membase=3)
+        asm.emit(ff=FF.READ_MEMBASE, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [3]
+
+
+# --- memory through microcode ----------------------------------------------------------
+
+def test_fetch_store_roundtrip():
+    def build(asm):
+        asm.register("addr", 1)
+        asm.emit(r="addr", b=0x0200, alu="B", load="RM")
+        asm.emit(r="addr", a="RM", b=0x1234 & 0xFF00, alu="B", store=True)  # store 0x1200
+        asm.emit(r="addr", a="RM", fetch=True)
+        asm.emit(b="MD", alu="B", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x1200]
+
+
+def test_md_hold_blocks_until_ready():
+    """Using MEMDATA too early holds; the value still arrives correct."""
+
+    def build(asm):
+        asm.register("addr", 1)
+        asm.emit(r="addr", b=0x0300, alu="B", load="RM")
+        asm.emit(r="addr", a="RM", b=0x4200, alu="B", store=True)
+        asm.emit(r="addr", a="RM", fetch=True)
+        asm.emit(b="MD", alu="B", load="T")  # immediately: must hold
+        asm.emit(b="T", ff=FF.TRACE)
+
+    cpu = run_microcode(build)
+    assert cpu.console.trace == [0x4200]
+    assert cpu.counters.held_cycles > 0
+
+
+def test_indirect_fetch_via_a_md():
+    def build(asm):
+        asm.register("addr", 1)
+        asm.emit(r="addr", b=0x0400, alu="B", load="RM")
+        asm.emit(r="addr", a="RM", b=0x0500, alu="B", store=True)  # M[0x400]=0x500
+        asm.emit(r="addr", b=0x0500, alu="B", load="RM")
+        asm.emit(r="addr", a="RM", b=0x0077, alu="B", store=True)  # M[0x500]=0x77
+        asm.emit(r="addr", b=0x0400, alu="B", load="RM")
+        asm.emit(r="addr", a="RM", fetch=True)                     # MD <- 0x500
+        asm.emit(a="MD", fetch=True)                               # MD <- M[0x500]
+        asm.emit(b="MD", alu="B", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x77]
+
+
+def test_base_registers_from_microcode():
+    def build(asm):
+        asm.emit(membase=2)
+        asm.emit(b=0x0800, alu="B", load="T")
+        asm.emit(b="T", ff=FF.BASE_LO_B)         # base[2] = 0x800
+        asm.register("d", 1)
+        asm.emit(r="d", b=0x10, alu="B", load="RM")
+        asm.emit(r="d", a="RM", b=0x0099, alu="B", store=True)  # VA 0x810
+        asm.emit(membase=0)
+        asm.emit(r="d", b=0x0810 & 0xFF00, alu="B", load="RM")
+        asm.emit(r="d", a="RM", b=0x10, alu="ADD", load="RM")
+        asm.emit(r="d", a="RM", fetch=True)
+        asm.emit(b="MD", alu="B", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x99]
+
+
+def test_map_read_write_from_microcode():
+    def build(asm):
+        asm.register("va", 1)
+        # Map virtual page 0x40 -> real page 2, valid (0x8002).
+        asm.emit(r="va", b=0x4000, alu="B", load="RM")
+        asm.load_constant(2, 0x8002)
+        asm.emit(r=2, b="RM", alu="B", load="T")
+        asm.emit(r="va", a="RM", b="T", ff=FF.MAP_WRITE)
+        asm.emit(r="va", a="RM", ff=FF.READ_MAP, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x8002]
+
+
+def test_faults_readable_via_extb():
+    asm = Assembler()
+    asm.register("va", 1)
+    asm.emit(r="va", b=0xFF00, alu="B", load="RM")
+    asm.emit(r="va", a="RM", fetch=True)       # unmapped -> fault
+    asm.emit(b="FAULTS", alu="B", load="T")
+    asm.emit(b="T", ff=FF.TRACE)
+    asm.emit(ff=FF.READ_FAULTS, load="T")       # reads and clears
+    asm.emit(b="T", ff=FF.TRACE)
+    asm.emit(b="FAULTS", alu="B", load="T")
+    asm.emit(b="T", ff=FF.TRACE)
+    asm.halt()
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map(4)  # VA 0xFF00 is NOT mapped
+    cpu.run(1000)
+    trace = cpu.console.trace
+    assert trace[0] & 0x1       # FAULT_MAP visible
+    assert trace[1] & 0x1       # READ_FAULTS returns it...
+    assert trace[2] == 0        # ...and clears it
+
+
+# --- console paths ------------------------------------------------------------------------
+
+def test_cpreg_roundtrip():
+    def build(asm):
+        asm.emit(b=0x5A, alu="B", load="T")
+        asm.emit(b="T", ff=FF.CPREG_B)
+        asm.emit(b="CPREG", alu="B", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x5A]
+
+
+def test_thistask_on_extb():
+    def build(asm):
+        asm.emit(b="TASK", alu="B", load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0]
+
+
+def test_breakpoint_raises():
+    asm = Assembler()
+    asm.emit(ff=FF.BREAKPOINT, idle=True)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    with pytest.raises(MicrocodeCrash, match="breakpoint"):
+        cpu.run(10)
+
+
+def test_uninitialized_microstore_raises():
+    cpu = Processor()
+    with pytest.raises(MicrocodeCrash, match="uninitialized"):
+        cpu.step()
+
+
+def test_im_writable_from_microcode():
+    """Microcode can write the microstore (section 6.2.3)."""
+    from repro.core.microword import MicroInstruction
+
+    target = MicroInstruction(ff=int(FF.HALT))
+    bits = target.encode()
+
+    def build(asm):
+        asm.load_constant(3, 0x0FC0)               # IM address 4032
+        asm.emit(r=3, b="RM", alu="B", load="T")
+        asm.emit(b="T", ff=FF.IM_ADDR_B)
+        asm.load_constant(1, bits & 0xFFFF)
+        asm.emit(r=1, b="RM", ff=FF.IM_WRITE_LO)
+        asm.load_constant(1, (bits >> 16) & 0xFFFF)
+        asm.emit(r=1, b="RM", ff=FF.IM_WRITE_MID)
+        asm.load_constant(1, bits >> 32)
+        asm.emit(r=1, b="RM", ff=FF.IM_WRITE_HI)
+
+    cpu = run_microcode(build)
+    assert cpu.im[0x0FC0] == target
+
+
+def test_tpc_write_and_read():
+    def build(asm):
+        asm.load_constant(1, 0x5123)  # task 5, PC 0x123
+        asm.emit(r=1, b="RM", ff=FF.TPC_B)
+        asm.emit(r=1, b="RM", ff=FF.READ_TPC, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    cpu = run_microcode(build)
+    assert cpu.pipe.read_tpc(5) == 0x123
+    assert cpu.console.trace == [0x123]

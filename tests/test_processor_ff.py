@@ -1,0 +1,139 @@
+"""Remaining FF functions exercised through microcode."""
+
+import pytest
+
+from repro import Assembler, FF, Processor
+from repro.core.alu import AluControl, AluFunc
+from tests.conftest import run_microcode
+
+
+def trace_of(build, **kw):
+    return run_microcode(build, **kw).console.trace
+
+
+def test_alufm_write_from_microcode():
+    """The operation map is writeable at run time (section 6.3.3)."""
+
+    def build(asm):
+        control = AluControl(AluFunc.A_XOR_B).encode()
+        asm.emit(b=control, alu="B", load="T")
+        # Rewrite ALUFM slot 0 (normally ADD) to XOR, through slot 0's
+        # own ALUOp field.
+        asm.emit(b="T", alu=0, ff=FF.ALUFM_WRITE)
+        asm.load_constant(2, 0x0F0F)
+        asm.emit(r=2, b="RM", alu="B", load="T")
+        asm.emit(a="T", b=0x00FF, alu=0, load="T")  # now XOR, not ADD
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x0F0F ^ 0x00FF]
+
+
+def test_cache_flush_pushes_dirty_data_to_storage():
+    def build(asm):
+        asm.register("addr", 1)
+        asm.emit(r="addr", b=0x0600, alu="B", load="RM")
+        asm.emit(r="addr", a="RM", b=0x0042, alu="B", store=True)  # dirty line
+        asm.emit(r="addr", a="RM", ff=FF.CACHE_FLUSH)
+
+    cpu = run_microcode(build)
+    assert cpu.memory.storage.read_word(0x600) == 0x42
+    assert not cpu.memory.cache.contains(0x600)
+
+
+def test_link_value_is_continuation_address():
+    asm = Assembler()
+    asm.label("main")
+    asm.emit(call="sub")
+    asm.label("after")
+    asm.emit(ff=FF.HALT, idle=True)
+    asm.label("sub")
+    asm.emit(b="LINK", alu="B", load="T")
+    asm.emit(b="T", ff=FF.TRACE, ret=True)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.run(100)
+    assert cpu.console.trace == [cpu.address_of("after")]
+
+
+def test_ifu_reset_stops_dispatching():
+    from repro.emulators.isa import BytecodeAssembler
+    from repro.emulators.mesa import build_mesa_machine
+
+    ctx = build_mesa_machine()
+    b = BytecodeAssembler(ctx.table)
+    for _ in range(4):
+        b.op("NOP")
+    b.op("HALT")
+    ctx.load_program(b.assemble())
+    ctx.cpu.ifu.reset()
+    # With the IFU stopped, NextMacro holds forever: bounded run.
+    ctx.cpu.run(50)
+    assert not ctx.cpu.halted
+    assert ctx.cpu.counters.held_cycles > 40
+
+
+def test_read_ioaddress_roundtrip():
+    def build(asm):
+        asm.emit(b=0x42, alu="B", load="T")
+        asm.emit(b="T", ff=FF.IOADDRESS_B)
+        asm.emit(ff=FF.READ_IOADDRESS, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [0x42]
+
+
+def test_stackptr_b_selects_stack():
+    def build(asm):
+        asm.emit(b=0x80, alu="B", load="T")   # stack 2, word 0
+        asm.emit(b="T", ff=FF.STACKPTR_B)
+        asm.emit(stack=1, b=0x11, alu="B", load="RM")
+        asm.emit(ff=FF.READ_STACKPTR, load="T")
+        asm.emit(b="T", ff=FF.TRACE)
+
+    cpu = run_microcode(build)
+    assert cpu.console.trace == [0x81]
+    assert cpu.stack.memory[0x81] == 0x11  # landed in stack 2
+
+
+def test_wp_fault_leaves_memory_unchanged():
+    """A store to a write-protected page latches the fault and does not
+    write (the emulator would take a trap on the FAULTS word)."""
+    asm = Assembler()
+    asm.register("addr", 1)
+    asm.emit(r="addr", b=0x0010, alu="B", load="RM")
+    asm.emit(r="addr", a="RM", b=0x0077, alu="B", store=True)
+    asm.emit(b="FAULTS", alu="B", load="T")
+    asm.emit(b="T", ff=FF.TRACE)
+    asm.halt()
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.translator.identity_map(8, write_protected_pages=8)
+    cpu.run(100)
+    assert cpu.console.trace[0] & 0x2  # FAULT_WRITE_PROTECT
+    assert cpu.memory.storage.read_word(0x10) == 0
+
+
+def test_mulstep_divstep_roundtrip():
+    """x == (x / d) * d + (x % d) computed entirely in microcode."""
+
+    def build(asm):
+        asm.register("d", 1)
+        asm.register("q", 2)
+        asm.load_constant("d", 17)
+        asm.load_constant(3, 12345)
+        asm.emit(b=0, alu="B", load="T")
+        asm.emit(r=3, b="RM", ff=FF.Q_B)
+        for _ in range(16):
+            asm.emit(r="d", a="RM", ff=FF.DIVSTEP)
+        asm.emit(r="q", b="Q", alu="B", load="RM")   # quotient
+        asm.emit(r=4, b="T", alu="B", load="RM")     # remainder
+        # product = quotient * divisor via MULSTEP
+        asm.emit(r="q", b="RM", alu="B", load="T")
+        asm.emit(b="T", ff=FF.Q_B)
+        asm.emit(b=0, alu="B", load="T")
+        for _ in range(16):
+            asm.emit(r="d", a="RM", ff=FF.MULSTEP)
+        asm.emit(r=4, a="RM", b="Q", alu="ADD", load="T")  # + remainder
+        asm.emit(b="T", ff=FF.TRACE)
+
+    assert trace_of(build) == [12345]

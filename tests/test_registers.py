@@ -1,0 +1,78 @@
+"""The data-section register file: RBASE banking and task isolation."""
+
+from repro.core.registers import RM_SIZE, RegisterFile
+
+
+def test_rm_address_composition():
+    regs = RegisterFile()
+    regs.write_rbase(0, 0x3)
+    # Section 6.3.3: four bits from RAddress, four from RBASE.
+    assert regs.rm_address(0, 0x5) == 0x35
+
+
+def test_rbase_partitions_rm_into_banks():
+    regs = RegisterFile()
+    regs.write_rbase(1, 1)
+    regs.write_rbase(2, 2)
+    regs.write_rm(1, 0, 111)
+    regs.write_rm(2, 0, 222)
+    assert regs.read_rm(1, 0) == 111
+    assert regs.read_rm(2, 0) == 222
+    assert regs.read_rm_absolute(0x10) == 111
+    assert regs.read_rm_absolute(0x20) == 222
+
+
+def test_rm_has_256_words():
+    regs = RegisterFile()
+    assert RM_SIZE == 256
+    regs.write_rbase(0, 0xF)
+    regs.write_rm(0, 0xF, 0xBEEF)
+    assert regs.read_rm_absolute(255) == 0xBEEF
+
+
+def test_t_is_task_specific():
+    regs = RegisterFile()
+    for task in range(16):
+        regs.write_t(task, task * 100)
+    for task in range(16):
+        assert regs.read_t(task) == task * 100
+
+
+def test_ioaddress_is_task_specific():
+    regs = RegisterFile()
+    regs.write_ioaddress(3, 0x20)
+    regs.write_ioaddress(7, 0x30)
+    assert regs.read_ioaddress(3) == 0x20
+    assert regs.read_ioaddress(7) == 0x30
+
+
+def test_membase_and_rbase_are_task_specific():
+    regs = RegisterFile()
+    regs.write_membase(0, 1)
+    regs.write_membase(13, 0)
+    regs.write_rbase(0, 0)
+    regs.write_rbase(13, 13)
+    assert regs.read_membase(0) == 1
+    assert regs.read_membase(13) == 0
+    assert regs.read_rbase(13) == 13
+
+
+def test_membase_masked_to_five_bits():
+    regs = RegisterFile()
+    regs.write_membase(0, 0xFF)
+    assert regs.read_membase(0) == 0x1F
+
+
+def test_count_decrement_wraps():
+    regs = RegisterFile()
+    regs.write_count(0)
+    regs.decrement_count()
+    assert regs.count == 0xFFFF
+
+
+def test_writes_truncate_to_word():
+    regs = RegisterFile()
+    regs.write_q(0x12345)
+    assert regs.q == 0x2345
+    regs.write_t(0, -1)
+    assert regs.read_t(0) == 0xFFFF

@@ -1,0 +1,116 @@
+"""The 32-bit barrel shifter and masker (section 6.3.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import EncodingError
+from repro.core.shifter import (
+    ShiftControl,
+    byte_swap_control,
+    field_control,
+    insert_control,
+    rotate_control,
+    shift,
+    shift_masked,
+)
+from repro.types import word
+
+words = st.integers(min_value=0, max_value=0xFFFF)
+amounts = st.integers(min_value=0, max_value=31)
+
+
+@given(words, words, amounts)
+def test_shift_is_high_word_of_rotation(rm, t, amount):
+    control = ShiftControl(amount=amount)
+    double = (rm << 16) | t
+    rotated = ((double << amount) | (double >> (32 - amount))) & 0xFFFFFFFF if amount else double
+    assert shift(control, rm, t) == (rotated >> 16) & 0xFFFF
+
+
+@given(words)
+def test_zero_shift_returns_rm(value):
+    assert shift(ShiftControl(amount=0), value, 0x1234) == value
+
+
+@given(words, st.integers(0, 15))
+def test_word_rotate_with_duplicated_word(value, k):
+    """The single-word rotate idiom: RM == T."""
+    expected = word((value << k) | (value >> (16 - k))) if k else value
+    assert shift(rotate_control(k), value, value) == expected
+
+
+@given(words)
+def test_byte_swap(value):
+    swapped = ((value & 0xFF) << 8) | (value >> 8)
+    assert shift(byte_swap_control(), value, value) == swapped
+
+
+def test_shiftctl_roundtrip():
+    control = ShiftControl(amount=13, left_mask=3, right_mask=9)
+    assert ShiftControl.decode(control.encode()) == control
+
+
+def test_shiftctl_ranges():
+    with pytest.raises(EncodingError):
+        ShiftControl(amount=32)
+    with pytest.raises(EncodingError):
+        ShiftControl(left_mask=16)
+    with pytest.raises(EncodingError):
+        ShiftControl(right_mask=-1)
+
+
+def test_mask_window():
+    control = ShiftControl(amount=0, left_mask=4, right_mask=4)
+    assert control.mask == 0x0FF0
+
+
+@given(words, words, words)
+def test_masking_mixes_fill(rm, t, fill):
+    control = ShiftControl(amount=7, left_mask=2, right_mask=3)
+    out = shift_masked(control, rm, t, fill)
+    raw = shift(control, rm, t)
+    window = control.mask
+    assert out == ((raw & window) | (fill & ~window & 0xFFFF))
+
+
+field_specs = st.integers(1, 16).flatmap(
+    lambda width: st.tuples(st.integers(0, 16 - width), st.just(width))
+)
+
+
+@given(words, field_specs)
+def test_field_extraction(value, spec):
+    position, width = spec
+    control = field_control(position, width)
+    extracted = shift_masked(control, value, 0xA5A5, 0)
+    assert extracted == (value >> position) & ((1 << width) - 1)
+
+
+@given(words, words, field_specs)
+def test_field_insertion(dest, fieldval, spec):
+    position, width = spec
+    control = insert_control(position, width)
+    fieldval &= (1 << width) - 1
+    merged = shift_masked(control, fieldval, 0x5A5A, dest)
+    mask = ((1 << width) - 1) << position
+    expected = (dest & ~mask & 0xFFFF) | (fieldval << position)
+    assert merged == expected
+
+
+@given(words, field_specs)
+def test_extract_then_insert_is_identity(value, spec):
+    position, width = spec
+    extracted = shift_masked(field_control(position, width), value, 0, 0)
+    merged = shift_masked(insert_control(position, width), extracted, 0, value)
+    assert merged == value
+
+
+def test_field_bounds_rejected():
+    with pytest.raises(EncodingError):
+        field_control(12, 8)
+    with pytest.raises(EncodingError):
+        field_control(0, 0)
+    with pytest.raises(EncodingError):
+        insert_control(9, 8)
+    with pytest.raises(EncodingError):
+        rotate_control(16)

@@ -1,0 +1,99 @@
+"""The hardware stacks (section 6.3.3)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.stack import STACKS, STACK_WORDS, WORDS_PER_STACK, StackUnit
+
+
+def push(stack, value):
+    """One-microinstruction push: adjust +1, write at the new pointer."""
+    stack.adjust(1)
+    stack.write_top(value)
+
+
+def pop(stack):
+    """One-microinstruction pop: read, adjust -1."""
+    value = stack.read_top()
+    stack.adjust(-1)
+    return value
+
+
+def test_geometry():
+    assert STACK_WORDS == 256 and STACKS == 4 and WORDS_PER_STACK == 64
+
+
+def test_push_pop_lifo():
+    stack = StackUnit()
+    for v in (10, 20, 30):
+        push(stack, v)
+    assert pop(stack) == 30
+    assert pop(stack) == 20
+    assert pop(stack) == 10
+
+
+@given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=60))
+def test_push_pop_roundtrip(values):
+    stack = StackUnit()
+    for v in values:
+        push(stack, v)
+    assert stack.depth() == len(values)
+    for v in reversed(values):
+        assert pop(stack) == v
+    assert not stack.any_error
+
+
+def test_replace_top_with_zero_delta():
+    stack = StackUnit()
+    push(stack, 5)
+    stack.adjust(0)
+    stack.write_top(99)
+    assert stack.read_top() == 99
+
+
+def test_four_independent_stacks():
+    stack = StackUnit()
+    for n in range(4):
+        stack.select_stack(n)
+        push(stack, 1000 + n)
+    for n in range(4):
+        stack.select_stack(n)
+        stack.adjust(0)
+        # read back what was pushed on stack n (pointer = base + 1)
+        stack.write_pointer((n << 6) | 1)
+        assert stack.read_top() == 1000 + n
+
+
+def test_overflow_sets_flag_and_wraps():
+    stack = StackUnit()
+    stack.write_pointer(0x3F)  # top of stack 0
+    stack.adjust(1)
+    assert stack.overflow[0]
+    assert stack.word_index == 0  # wrapped within the stack
+    assert stack.stack_number == 0  # did not leak into stack 1
+
+
+def test_underflow_sets_flag():
+    stack = StackUnit()
+    stack.select_stack(2)
+    stack.adjust(-1)
+    assert stack.underflow[2]
+    assert stack.stack_number == 2
+
+
+def test_error_flags_packing():
+    stack = StackUnit()
+    stack.overflow[1] = True
+    stack.underflow[3] = True
+    flags = stack.error_flags()
+    assert flags == (1 << 1) | (1 << (4 + 3))
+    stack.clear_errors()
+    assert stack.error_flags() == 0
+    assert not stack.any_error
+
+
+def test_large_delta():
+    stack = StackUnit()
+    stack.adjust(7)
+    assert stack.word_index == 7
+    stack.adjust(-8)
+    assert stack.underflow[0]

@@ -1,0 +1,169 @@
+"""The mini-Smalltalk compiler."""
+
+import pytest
+
+from repro import MicrocodeCrash
+from repro.emulators.stc import SmalltalkCompileError, compile_smalltalk, run_smalltalk
+
+
+def trace_of(source, max_cycles=10_000_000):
+    ctx, _ = run_smalltalk(source, max_cycles)
+    return ctx.cpu.console.trace
+
+
+COUNTER = """
+class Counter [
+    | count |
+    bump: n  [ count := count + n. ^self ]
+    value: _ [ ^count ]
+]
+"""
+
+
+def test_basic_send_and_state():
+    source = COUNTER + """
+    main [
+        c := new Counter.
+        c bump: 5.
+        c bump: 7.
+        trace: (c value: 0).
+    ]
+    """
+    assert trace_of(source) == [12]
+
+
+def test_parameter_usable_anywhere():
+    source = """
+    class M [
+        twice: n   [ ^n + n ]
+        flip: n    [ ^100 - n ]
+        both: n    [ ^n + n - n ]
+    ]
+    main [
+        m := new M.
+        trace: (m twice: 21).
+        trace: (m flip: 1).
+        trace: (m both: 9).
+    ]
+    """
+    assert trace_of(source) == [42, 99, 9]
+
+
+def test_methods_chain_through_self():
+    source = COUNTER + """
+    main [
+        c := new Counter.
+        trace: (((c bump: 1) bump: 2) value: 0).
+    ]
+    """
+    assert trace_of(source) == [3]
+
+
+def test_inheritance_and_override():
+    source = COUNTER + """
+    class Doubler extends Counter [
+        bump: n [ count := count + n + n. ^self ]
+    ]
+    main [
+        d := new Doubler.
+        d bump: 4.
+        trace: (d value: 0).
+    ]
+    """
+    assert trace_of(source) == [8]
+
+
+def test_inherited_method_runs_on_subclass():
+    source = COUNTER + """
+    class Child extends Counter [
+        zero: _ [ count := 0. ^self ]
+    ]
+    main [
+        k := new Child.
+        k bump: 9.
+        trace: (k value: 0).
+        k zero: 0.
+        trace: (k value: 0).
+    ]
+    """
+    assert trace_of(source) == [9, 0]
+
+
+def test_sends_between_objects():
+    source = COUNTER + """
+    class Feeder [
+        into: c [ c bump: 3. c bump: 4. ^c value: 0 ]
+    ]
+    main [
+        c := new Counter.
+        f := new Feeder.
+        trace: (f into: c).
+    ]
+    """
+    assert trace_of(source) == [7]
+
+
+def test_integer_globals():
+    source = """
+    class M [ echo: n [ ^n ] ]
+    main [
+        m := new M.
+        k := 41.
+        trace: (m echo: k) + 1.
+    ]
+    """
+    assert trace_of(source) == [42]
+
+
+def test_separate_instances_have_separate_state():
+    source = COUNTER + """
+    main [
+        a := new Counter.
+        b := new Counter.
+        a bump: 10.
+        b bump: 1.
+        trace: (a value: 0).
+        trace: (b value: 0).
+    ]
+    """
+    assert trace_of(source) == [10, 1]
+
+
+def test_unknown_selector_traps():
+    source = COUNTER + """
+    main [
+        c := new Counter.
+        c nosuch: 1.
+    ]
+    """
+    with pytest.raises(MicrocodeCrash):
+        run_smalltalk(source)
+
+
+@pytest.mark.parametrize(
+    "source,match",
+    [
+        ("class A [ ]", "no main"),
+        ("main [ trace: (x value: 0). ]", "unbound global"),
+        ("main [ c := new Nope. ]", "unknown class"),
+        ("class A [ m: x [ ^y ] ] main [ ]", None),  # checked at compile of body
+        ("class A extends B [ ] main [ ]", "unknown superclass"),
+        ("class A [ ] class A [ ] main [ ]", "twice"),
+        ("class A [ | v | ] class B extends A [ | v | ] main [ ]", "shadows"),
+    ],
+)
+def test_rejections(source, match):
+    if match is None:
+        with pytest.raises(SmalltalkCompileError):
+            run_smalltalk(source)
+    else:
+        with pytest.raises(SmalltalkCompileError, match=match):
+            compiled = compile_smalltalk(source)
+            compiled.run()
+
+
+def test_comments_stripped():
+    source = '"a comment" ' + COUNTER + """
+    main [ "set up" c := new Counter. trace: (c value: 0). ]
+    """
+    assert trace_of(source) == [0]

@@ -1,0 +1,136 @@
+"""The microcode standard library."""
+
+import pytest
+
+from repro import Assembler, FF, Processor
+from repro.asm import stdlib
+
+
+def machine(build_main, *routines, link_stack_va=0x0F00):
+    asm = Assembler()
+    stdlib.register_names(asm)
+    asm.label("main")
+    build_main(asm)
+    for routine in routines:
+        routine(asm)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map(64)
+    cpu.regs.write_rm_absolute(stdlib.REG_LSP, link_stack_va)
+    cpu.boot(cpu.address_of("main"))
+    return cpu
+
+
+def test_memcpy():
+    def main(asm):
+        asm.emit(r="lib.src", b=0x0200, alu="B", load="RM")
+        asm.emit(r="lib.dst", b=0x0300, alu="B", load="RM")
+        asm.emit(r="lib.cnt", b=20, alu="B", load="RM")
+        asm.emit(call="lib.memcpy")
+        asm.halt()
+
+    cpu = machine(main, stdlib.memcpy_microcode)
+    for i in range(20):
+        cpu.memory.storage.write_word(0x200 + i, 0x700 + i)
+    cpu.run(10_000)
+    assert cpu.halted
+    assert [cpu.memory.debug_read(0x300 + i) for i in range(20)] == [
+        0x700 + i for i in range(20)
+    ]
+    assert cpu.regs.read_rm_absolute(stdlib.REG_CNT) == 0
+
+
+def test_memcpy_zero_count():
+    def main(asm):
+        asm.emit(r="lib.src", b=0x0200, alu="B", load="RM")
+        asm.emit(r="lib.dst", b=0x0300, alu="B", load="RM")
+        asm.emit(r="lib.cnt", b=0, alu="B", load="RM")
+        asm.emit(call="lib.memcpy")
+        asm.halt()
+
+    cpu = machine(main, stdlib.memcpy_microcode)
+    cpu.memory.storage.write_word(0x300, 0xAAAA)
+    cpu.run(10_000)
+    assert cpu.halted
+    assert cpu.memory.debug_read(0x300) == 0xAAAA  # untouched
+
+
+def test_memset():
+    def main(asm):
+        asm.emit(r="lib.dst", b=0x0400, alu="B", load="RM")
+        asm.emit(r="lib.cnt", b=12, alu="B", load="RM")
+        asm.emit(b=0x5A, alu="B", load="T")
+        asm.emit(call="lib.memset")
+        asm.halt()
+
+    cpu = machine(main, stdlib.memset_microcode)
+    cpu.run(10_000)
+    assert all(cpu.memory.debug_read(0x400 + i) == 0x5A for i in range(12))
+    assert cpu.memory.debug_read(0x400 + 12) == 0
+
+
+def test_checksum():
+    def main(asm):
+        asm.emit(r="lib.src", b=0x0500, alu="B", load="RM")
+        asm.emit(r="lib.cnt", b=10, alu="B", load="RM")
+        asm.emit(call="lib.checksum")
+        asm.emit(b="T", ff=FF.TRACE)
+        asm.halt()
+
+    cpu = machine(main, stdlib.checksum_microcode)
+    values = [(37 * i + 11) & 0xFFFF for i in range(10)]
+    for i, v in enumerate(values):
+        cpu.memory.storage.write_word(0x500 + i, v)
+    cpu.run(10_000)
+    assert cpu.console.trace == [sum(values) & 0xFFFF]
+
+
+def test_recursive_microcode_via_link_stack():
+    """The section 6.2.3 idiom: a memory stack of LINKs lets microcode
+    recurse despite the single hardware LINK register."""
+
+    def main(asm):
+        asm.emit(b=10, alu="B", load="T")
+        asm.emit(call="lib.tri")
+        asm.emit(b="T", ff=FF.TRACE)
+        asm.halt()
+
+    cpu = machine(main, stdlib.triangular_microcode)
+    cpu.run(10_000)
+    assert cpu.halted
+    assert cpu.console.trace == [55]
+    # The link stack unwound completely.
+    assert cpu.regs.read_rm_absolute(stdlib.REG_LSP) == 0x0F00
+
+
+def test_recursion_depth_40():
+    def main(asm):
+        asm.emit(b=40, alu="B", load="T")
+        asm.emit(call="lib.tri")
+        asm.emit(b="T", ff=FF.TRACE)
+        asm.halt()
+
+    cpu = machine(main, stdlib.triangular_microcode)
+    cpu.run(50_000)
+    assert cpu.console.trace == [40 * 41 // 2]
+
+
+def test_routines_compose_in_one_image():
+    """memcpy a block, checksum the copy, all through CALLs."""
+
+    def main(asm):
+        asm.emit(r="lib.src", b=0x0200, alu="B", load="RM")
+        asm.emit(r="lib.dst", b=0x0300, alu="B", load="RM")
+        asm.emit(r="lib.cnt", b=8, alu="B", load="RM")
+        asm.emit(call="lib.memcpy")
+        asm.emit(r="lib.src", b=0x0300, alu="B", load="RM")
+        asm.emit(r="lib.cnt", b=8, alu="B", load="RM")
+        asm.emit(call="lib.checksum")
+        asm.emit(b="T", ff=FF.TRACE)
+        asm.halt()
+
+    cpu = machine(main, stdlib.memcpy_microcode, stdlib.checksum_microcode)
+    for i in range(8):
+        cpu.memory.storage.write_word(0x200 + i, i + 1)
+    cpu.run(10_000)
+    assert cpu.console.trace == [36]

@@ -1,0 +1,202 @@
+"""Task switching: wakeups, priority, Block, preemption (sections 5.1-5.3, 6.2.1)."""
+
+import pytest
+
+from repro import Assembler, FF, Processor
+from repro.core.taskpipe import TaskPipeline
+
+
+# --- the pipeline registers in isolation ----------------------------------
+
+def test_task0_always_requests():
+    pipe = TaskPipeline()
+    pipe.arbitrate()
+    assert pipe.best_task == 0
+    pipe.clear_wakeup(0)  # must be a no-op
+    pipe.arbitrate()
+    assert pipe.best_task == 0
+
+
+def test_priority_encoder_picks_highest():
+    pipe = TaskPipeline()
+    pipe.set_wakeup(4)
+    pipe.set_wakeup(11)
+    pipe.set_wakeup(7)
+    pipe.arbitrate()
+    assert pipe.best_task == 11
+
+
+def test_ready_competes_with_wakeups():
+    pipe = TaskPipeline()
+    pipe.set_ready_mask(1 << 9)
+    pipe.arbitrate()
+    assert pipe.best_task == 9
+
+
+def test_decide_preempts_only_higher():
+    pipe = TaskPipeline()
+    pipe.this_task = 5
+    pipe.best_task = 3
+    assert pipe.decide_next(blocked=False) == 5  # lower priority waits
+    pipe.this_task = 5
+    pipe.best_task = 8
+    assert pipe.decide_next(blocked=False) == 8  # higher preempts
+    assert pipe.ready & (1 << 5)                  # preempted task remembered
+
+
+def test_block_yields_unconditionally():
+    pipe = TaskPipeline()
+    pipe.this_task = 9
+    pipe.best_task = 0
+    pipe.ready |= 1 << 9
+    assert pipe.decide_next(blocked=True) == 0
+    assert not pipe.ready & (1 << 9)  # a blocking task is forgotten
+
+
+# --- whole-machine timing ----------------------------------------------------
+
+def machine_with_io_task(task=9, body=("trace",)):
+    """Task 0 spins incrementing a register; *task* runs a tiny handler."""
+    asm = Assembler()
+    asm.register("spin", 1)
+    asm.label("main")
+    asm.emit(r="spin", a="RM", alu="INC", load="RM", goto="main")
+    asm.label("io")
+    for item in body[:-1]:
+        asm.emit(b="TASK", alu="B", load="T")
+    asm.emit(b="TASK", alu="B", load="T", block=True, goto="io2")
+    asm.label("io2")
+    asm.emit(b="T", ff=FF.TRACE, block=True, goto="io2")
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.boot(cpu.address_of("main"))
+    cpu.pipe.write_tpc(task, cpu.address_of("io"))
+    return cpu
+
+
+def test_wakeup_takes_two_cycles():
+    """Section 6.2.1: a wakeup affects the running task after >= 2 cycles."""
+    cpu = machine_with_io_task()
+    for _ in range(5):
+        cpu.step()
+    assert cpu.counters.task_cycles[9] == 0
+    cpu.pipe.set_wakeup(9)
+    cpu.step()
+    assert cpu.counters.task_cycles[9] == 0, "cycle 1 after wakeup: still task 0"
+    cpu.step()
+    assert cpu.counters.task_cycles[9] == 0, "cycle 2: arbitration latched"
+    cpu.step()
+    assert cpu.counters.task_cycles[9] == 1, "cycle 3: the task runs"
+
+
+def test_preempted_task_resumes_where_it_stopped():
+    """Tasks are coroutines: preemption must not restart them
+    (section 5.1: 'it continues execution at the point where it
+    blocked')."""
+    asm = Assembler()
+    asm.register("spin", 1)
+    asm.label("main")
+    asm.emit(r="spin", a="RM", alu="INC", load="RM", goto="main")
+    asm.register("acc", 2)
+    asm.label("io")
+    asm.emit(r="acc", a="RM", b=1, alu="ADD", load="RM")
+    asm.emit(r="acc", a="RM", b=1, alu="ADD", load="RM")
+    asm.emit(r="acc", a="RM", b=1, alu="ADD", load="RM")
+    asm.emit(r="acc", b="RM", ff=FF.TRACE, block=True, goto="io")
+    asm.label("hi")
+    asm.emit(block=True, goto="hi")
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.boot(cpu.address_of("main"))
+    cpu.pipe.write_tpc(9, cpu.address_of("io"))
+    cpu.pipe.set_wakeup(9)
+    # Let it run one instruction, then preempt with task 12.
+    cpu.run_until(lambda m: m.counters.task_instructions[9] == 1, 100)
+    cpu.pipe.write_tpc(12, cpu.address_of("hi"))
+    cpu.pipe.set_wakeup(12)
+    for _ in range(6):
+        cpu.step()
+    cpu.pipe.clear_wakeup(12)
+    cpu.pipe.clear_wakeup(9)
+    cpu.pipe.set_ready_mask(1 << 9)  # resume the preempted task
+    cpu.run_until(lambda m: m.console.trace, 100)
+    # Resumed, not restarted: an accumulator restart would overshoot 3.
+    assert cpu.console.trace[0] == 3
+
+
+def test_task_runs_again_if_wakeup_still_pending():
+    """A task blocking on its first instruction re-runs, because 'the
+    effects of its wakeup will not have been cleared from the pipe'."""
+    asm = Assembler()
+    asm.label("main")
+    asm.emit(goto="main")
+    asm.label("io")
+    asm.emit(ff=FF.TRACE, b="T", block=True, goto="io2")
+    asm.label("io2")
+    asm.emit(block=True, goto="io2")
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.boot(cpu.address_of("main"))
+    cpu.pipe.write_tpc(9, cpu.address_of("io"))
+    cpu.pipe.set_wakeup(9)  # raw wakeup with no device to drop it promptly
+    for _ in range(4):
+        cpu.step()
+    # The task blocked at its first instruction but the stale wakeup
+    # re-ran it at io2.
+    assert cpu.counters.task_instructions[9] >= 2
+
+
+def test_higher_task_preempts_lower_io():
+    asm = Assembler()
+    asm.label("main")
+    asm.emit(goto="main")
+    for t, label in [(5, "low"), (11, "high")]:
+        asm.label(label)
+        asm.emit(b="TASK", alu="B", load="T")
+        asm.emit(b="T", ff=FF.TRACE, block=True, goto=label)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.boot(cpu.address_of("main"))
+    cpu.pipe.write_tpc(5, cpu.address_of("low"))
+    cpu.pipe.write_tpc(11, cpu.address_of("high"))
+    cpu.pipe.set_wakeup(5)
+    cpu.step()
+    cpu.pipe.set_wakeup(11)  # arrives while 5 is being scheduled
+    for _ in range(12):
+        cpu.step()
+    cpu.pipe.clear_wakeup(5)
+    cpu.pipe.clear_wakeup(11)
+    for _ in range(8):
+        cpu.step()
+    # Task 11 ran first despite task 5 being requested earlier.
+    assert cpu.console.trace[0] == 11
+    assert 5 in cpu.console.trace
+
+
+def test_task_switch_counter():
+    cpu = machine_with_io_task()
+    cpu.pipe.set_wakeup(9)
+    for _ in range(10):
+        cpu.step()
+    cpu.pipe.clear_wakeup(9)
+    for _ in range(5):
+        cpu.step()
+    assert cpu.counters.task_switches >= 2
+
+
+def test_wakeup_b_function_wakes_task():
+    """Microcode can raise wakeups itself (inter-task notification)."""
+    asm = Assembler()
+    asm.register("spin", 1)
+    asm.load_constant("spin", 1 << 9)
+    asm.emit(r="spin", b="RM", ff=FF.WAKEUP_B)
+    asm.label("main")
+    asm.emit(goto="main")
+    asm.label("io")
+    asm.emit(ff=FF.HALT, block=True, idle=True)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.pipe.write_tpc(9, cpu.address_of("io"))
+    cpu.run(100)
+    assert cpu.halted
+    assert cpu.counters.task_cycles[9] >= 1

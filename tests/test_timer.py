@@ -1,0 +1,68 @@
+"""The housekeeping timer task: periodic 32-bit ticks in memory."""
+
+from repro import Assembler, Processor
+from repro.io.timer import TIMER_TASK, TimerDevice, timer_microcode
+
+COUNTER_VA = 0x2000
+
+
+def machine(interval=100):
+    asm = Assembler()
+    asm.emit(idle=True)
+    timer_microcode(asm)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map(64)
+    timer = TimerDevice(interval_cycles=interval)
+    cpu.attach_device(timer)
+    return cpu, timer
+
+
+def counter_value(cpu):
+    return (cpu.memory.debug_read(COUNTER_VA + 1) << 16) | cpu.memory.debug_read(COUNTER_VA)
+
+
+def test_timer_ticks_at_interval():
+    cpu, timer = machine(interval=100)
+    timer.start(cpu, COUNTER_VA)
+    for _ in range(1050):
+        cpu.step()
+    assert counter_value(cpu) == 10
+    assert timer.ticks_raised == 10
+
+
+def test_timer_carries_into_high_word():
+    cpu, timer = machine(interval=50)
+    # Pre-load the low word just below overflow.
+    cpu.memory.debug_write(COUNTER_VA, 0xFFFE)
+    timer.start(cpu, COUNTER_VA)
+    for _ in range(170):
+        cpu.step()
+    # Three ticks: 0xFFFE -> 0xFFFF -> 0x1_0000 -> 0x1_0001.
+    assert counter_value(cpu) == 0x10001
+
+
+def test_timer_runs_beside_emulator_work():
+    cpu, timer = machine(interval=60)
+    timer.start(cpu, COUNTER_VA)
+    for _ in range(600):
+        cpu.step()
+    counters = cpu.counters
+    # The timer costs 8 instructions (plus one hold) per tick.
+    per_tick = counters.task_cycles[TIMER_TASK] / timer.ticks_raised
+    assert 7 <= per_tick <= 12
+    assert counters.task_cycles[0] > 0  # task 0 kept running in between
+
+
+def test_timer_stop():
+    cpu, timer = machine(interval=40)
+    timer.start(cpu, COUNTER_VA)
+    for _ in range(200):
+        cpu.step()
+    timer.stop()
+    for _ in range(50):
+        cpu.step()  # let any in-flight service finish
+    ticks = counter_value(cpu)
+    for _ in range(200):
+        cpu.step()
+    assert counter_value(cpu) == ticks

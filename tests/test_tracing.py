@@ -1,0 +1,92 @@
+"""The pipeline tracer."""
+
+from repro import Assembler, FF, Processor
+from repro.perf.tracing import PipelineTracer
+
+
+def traced_machine():
+    asm = Assembler()
+    asm.register("addr", 1)
+    asm.emit(r="addr", b=0x0200, alu="B", load="RM")
+    asm.emit(r="addr", a="RM", fetch=True)
+    asm.emit(a="MD", alu="A", load="T")  # long hold on the cold miss
+    asm.halt()
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map(8)
+    return cpu
+
+
+def test_records_every_cycle():
+    cpu = traced_machine()
+    tracer = PipelineTracer(cpu).install()
+    cpu.run(1000)
+    assert len(tracer.records) == cpu.counters.cycles
+    assert tracer.tasks_seen() == [0]
+
+
+def test_hold_windows_detected():
+    cpu = traced_machine()
+    tracer = PipelineTracer(cpu).install()
+    cpu.run(1000)
+    windows = tracer.hold_windows(0)
+    assert len(windows) == 1
+    start, length = windows[0]
+    assert length >= cpu.config.miss_penalty - 3
+
+
+def test_cycles_and_holds_match_counters():
+    cpu = traced_machine()
+    tracer = PipelineTracer(cpu).install()
+    cpu.run(1000)
+    assert tracer.cycles_by_task()[0] == cpu.counters.task_cycles[0]
+    assert tracer.holds_by_task()[0] == cpu.counters.task_held[0]
+
+
+def test_timeline_renders_marks():
+    cpu = traced_machine()
+    tracer = PipelineTracer(cpu).install()
+    cpu.run(1000)
+    text = tracer.timeline(width=40, labels={0: "emulator"})
+    assert "emulator" in text
+    assert "#" in text and "h" in text
+
+
+def test_bounded_recording():
+    cpu = traced_machine()
+    tracer = PipelineTracer(cpu, max_records=10).install()
+    cpu.run(1000)
+    assert len(tracer.records) == 10
+    assert tracer.records[-1].cycle == cpu.counters.cycles - 1
+
+
+def test_uninstall_restores_previous_hook():
+    cpu = traced_machine()
+    seen = []
+    cpu.trace_hook = lambda now, pc, inst, held: seen.append(now)
+    tracer = PipelineTracer(cpu).install()
+    cpu.step()
+    tracer.uninstall()
+    cpu.step()
+    assert len(seen) == 2  # the original hook ran both cycles
+    assert len(tracer.records) == 1
+
+
+def test_multitask_timeline():
+    from repro.io.disk import DISK_TASK, DiskController, DiskGeometry, disk_microcode
+
+    asm = Assembler()
+    asm.emit(idle=True)
+    disk_microcode(asm)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map(64)
+    disk = DiskController(DiskGeometry(sectors=2, words_per_sector=32))
+    cpu.attach_device(disk)
+    disk.fill_sector(0, list(range(32)))
+    tracer = PipelineTracer(cpu).install()
+    disk.begin_read(cpu, sector=0, buffer_va=0x2000)
+    cpu.run_until(lambda m: disk.done, max_cycles=20_000)
+    assert set(tracer.tasks_seen()) == {0, DISK_TASK}
+    text = tracer.timeline()
+    assert f"task {DISK_TASK}" in text

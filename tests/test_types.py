@@ -1,0 +1,73 @@
+"""Unit tests for the word-level helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.types import (
+    bit,
+    field,
+    from_signed,
+    high_byte,
+    low_byte,
+    make_word,
+    ones_mask,
+    rotate_left_32,
+    signed,
+    word,
+)
+
+words = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def test_word_truncates():
+    assert word(0x1FFFF) == 0xFFFF
+    assert word(-1) == 0xFFFF
+    assert word(0) == 0
+
+
+def test_signed_interpretation():
+    assert signed(0x7FFF) == 32767
+    assert signed(0x8000) == -32768
+    assert signed(0xFFFF) == -1
+    assert signed(0) == 0
+
+
+@given(st.integers(min_value=-32768, max_value=32767))
+def test_signed_roundtrip(value):
+    assert signed(from_signed(value)) == value
+
+
+@given(words)
+def test_byte_split_roundtrip(value):
+    assert make_word(high_byte(value), low_byte(value)) == value
+
+
+def test_bit_extraction():
+    assert bit(0b1000, 3) == 1
+    assert bit(0b1000, 2) == 0
+    assert bit(0x8000, 15) == 1
+
+
+def test_field_extraction():
+    assert field(0b1011_0100, 5, 2) == 0b1101
+    assert field(0xFFFF, 15, 0) == 0xFFFF
+    assert field(0xF0, 7, 4) == 0xF
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF), st.integers(min_value=0, max_value=64))
+def test_rotate_preserves_bits(value, amount):
+    rotated = rotate_left_32(value, amount)
+    assert bin(rotated).count("1") == bin(value & 0xFFFFFFFF).count("1")
+    assert rotate_left_32(rotated, 32 - (amount % 32)) == value & 0xFFFFFFFF
+
+
+def test_rotate_identity():
+    assert rotate_left_32(0x12345678, 0) == 0x12345678
+    assert rotate_left_32(0x12345678, 32) == 0x12345678
+
+
+def test_ones_mask():
+    assert ones_mask(0) == 0
+    assert ones_mask(4) == 0xF
+    assert ones_mask(16) == 0xFFFF
+    assert ones_mask(-1) == 0

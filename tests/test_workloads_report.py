@@ -1,0 +1,111 @@
+"""Workload correctness and the experiment harness bands.
+
+These assert that every experiment's *measured* values fall in the
+bands the paper reports (the reproduction's headline claims) -- if a
+change to the simulator drifts a number, these fail.
+"""
+
+import pytest
+
+from repro.perf import report
+from repro.perf.workloads import ALL_WORKLOADS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+def test_workload_computes_correct_result(name):
+    workload = ALL_WORKLOADS[name]()
+    cycles = workload.run()
+    assert cycles > 0
+
+
+def rows_dict(rows):
+    return {metric: measured for metric, _, measured in rows}
+
+
+def test_e1_mesa_load_store_band():
+    rows = rows_dict(report.experiment_e1())
+    assert 1.0 <= float(rows["Mesa load (LL)"]) <= 2.0
+    assert float(rows["Mesa store (SL)"]) == 1.0
+    assert 5.0 <= float(rows["Mesa read field (SETF+RF)"]) <= 11.0
+    assert 3.0 <= float(rows["Lisp load (LLV)"]) <= 9.0
+    ratio = float(rows["Lisp/Mesa call ratio"])
+    assert 3.0 <= ratio <= 7.0, "Lisp calls must dwarf Mesa calls (paper: 4x)"
+
+
+def test_e2_bitblt_band():
+    rows = rows_dict(report.experiment_e2())
+    simple = float(rows["BitBlt simple (scroll/move), Mbit/s"])
+    complex_ = float(rows["BitBlt complex (src op dst), Mbit/s"])
+    assert 25 <= simple <= 45, "paper: 34 Mbit/s"
+    assert 18 <= complex_ <= 30, "paper: 24 Mbit/s"
+    assert simple > complex_
+
+
+def test_e3_disk_band():
+    rows = rows_dict(report.experiment_e3())
+    assert 8.5 <= float(rows["Disk transfer rate, Mbit/s"]) <= 11.0
+    assert 0.03 <= float(rows["Disk read: processor fraction"]) <= 0.08
+
+
+def test_e4_fastio_band():
+    rows = rows_dict(report.experiment_e4())
+    assert 480 <= float(rows["Fast I/O bandwidth, Mbit/s"]) <= 534
+    occ = float(rows["Fast I/O processor fraction (2-cycle grain)"])
+    assert 0.2 <= occ <= 0.3
+    assert rows["Display underruns"] == "0"
+
+
+def test_e5_grain_band():
+    rows = rows_dict(report.experiment_e5())
+    two = float(rows["Processor fraction, 2-instruction grain"])
+    three = float(rows["Processor fraction, 3-instruction grain"])
+    assert 0.2 <= two <= 0.3
+    assert 0.33 <= three <= 0.42
+    assert three > two
+
+
+def test_e6_placement_band():
+    rows = rows_dict(report.experiment_e6())
+    assert float(rows["Microstore placement utilization"]) >= 0.98
+
+
+def test_e8_bypass_slows_model0():
+    rows = rows_dict(report.experiment_e8())
+    slowdown = float(rows["Model 0 slowdown"].rstrip("x"))
+    assert slowdown > 1.3
+
+
+def test_e9_disk_nearly_free():
+    rows = rows_dict(report.experiment_e9())
+    slowdown = float(rows["Emulator slowdown from disk"].rstrip("x"))
+    assert slowdown < 1.15
+    assert int(rows["Disk task cycles absorbed"]) > 100
+
+
+def test_e10_simple_macro_one_cycle():
+    rows = rows_dict(report.experiment_e10())
+    assert float(rows["Simple macroinstruction, cycles"]) == pytest.approx(1.0, abs=0.1)
+
+
+def test_e11_storage_ceiling():
+    rows = rows_dict(report.experiment_e11())
+    assert rows["Storage ceiling, Mbit/s"] == "533"
+
+
+def test_e12_wakeup_latency():
+    rows = rows_dict(report.experiment_e12())
+    assert int(rows["Wakeup-to-run latency, cycles"]) >= 2
+
+
+def test_e13_stitchweld_ratio():
+    rows = rows_dict(report.experiment_e13())
+    ratio = float(rows["Multiwire slowdown"].rstrip("x"))
+    assert ratio == pytest.approx(1.2, abs=0.01)  # 60/50 exactly
+
+
+def test_all_experiments_render():
+    for title, fn in report.ALL_EXPERIMENTS.items():
+        rows = fn()
+        text = report.format_rows(title, rows)
+        assert title in text
+        assert len(rows) >= 1
