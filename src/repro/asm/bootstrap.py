@@ -16,6 +16,12 @@ Boot-table format in memory (one word each)::
 
 A microinstruction cannot live at IM address 0xFFFF (the store is 4K),
 so the sentinel is unambiguous.
+
+The loader's IM writes land through the console's staging path
+(``IM_ADDR_B`` / ``IM_WRITE_*``), which reports every completed write
+to the processor so the execution-plan cache drops the slot's compiled
+plan (DESIGN.md section 5.1) -- freshly loaded microcode is never
+shadowed by a stale decode, even when the loader overwrites itself.
 """
 
 from __future__ import annotations

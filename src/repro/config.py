@@ -52,6 +52,15 @@ class MachineConfig:
         task_grain: Minimum instructions a woken task executes before
             its Block takes effect.  2 on the real machine; 3 models the
             "simpler design" rejected in section 6.2.1.
+        plan_cache_enabled: When True (the default) the simulator
+            compiles each fetched IM word into a decoded execution plan
+            and runs plans instead of re-interrogating microword fields
+            every cycle.  Purely a simulator-speed knob: architectural
+            state and cycle counts are bit-identical either way (the
+            differential suite in ``tests/test_fastpath_parity.py``
+            enforces this), and plans are invalidated whenever an IM
+            word is rewritten (console write paths, bootstrap loader,
+            or direct ``im[...]`` assignment).
     """
 
     cycle_ns: float = 60.0
@@ -68,6 +77,7 @@ class MachineConfig:
     storage_words: int = 1 << 20
     ifu_decode_cycles: int = 1
     task_grain: int = 2
+    plan_cache_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.cycle_ns <= 0:
@@ -120,3 +130,8 @@ STITCHWELD = MachineConfig(cycle_ns=50.0)
 
 #: The Model 0, which lacked some bypass paths (section 5.6).
 MODEL0 = MachineConfig(bypass_enabled=False)
+
+#: The production machine with the simulator's plan cache disabled:
+#: every cycle re-decodes microword fields.  Only useful as the
+#: reference side of differential tests and benchmarks.
+INTERPRETED = MachineConfig(plan_cache_enabled=False)

@@ -11,7 +11,7 @@ logging).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..errors import EncodingError
 from .microword import MicroInstruction
@@ -27,6 +27,10 @@ class Console:
         self.notifications: List[int] = []  # PCs of NOTIFY instructions
         self._im_address_latch = 0
         self._im_partial = 0
+        #: Called with the IM address after every completed microstore
+        #: write, so the processor can invalidate its execution-plan
+        #: cache for that slot (DESIGN.md section 5).
+        self.on_im_write: Optional[Callable[[int], None]] = None
 
     # --- microcode-side paths (FF functions) ------------------------------
 
@@ -51,6 +55,8 @@ class Console:
         """
         self._im_partial = (self._im_partial & 0xFFFFFFFF) | ((value & 0x3) << 32)
         im[self._im_address_latch] = MicroInstruction.decode(self._im_partial)
+        if self.on_im_write is not None:
+            self.on_im_write(self._im_address_latch)
 
     def im_read(self, piece: int, im: List[Optional[MicroInstruction]]) -> int:
         """FF ``IM_READ_*``: a 16-bit piece of the latched IM word.

@@ -22,6 +22,18 @@ instruction normally sees its predecessor's results; with
 ``config.bypass_enabled`` False the latch is not consulted and reads one
 instruction deep return stale data -- the Model 0 behaviour whose
 "subtle bugs and significant loss of performance" section 5.6 recounts.
+
+Two implementations of the cycle coexist:
+
+* :meth:`Processor._step_interp` -- the interpretive reference, which
+  re-decodes the microword's fields every cycle; and
+* :meth:`Processor._step_plan` -- the fast path, which executes
+  per-slot :class:`~repro.core.plancache.ExecutionPlan` objects compiled
+  on first fetch and invalidated on IM writes (DESIGN.md section 5).
+
+``config.plan_cache_enabled`` selects between them; they are
+bit-identical in architectural state, counters, and cycle counts, which
+``tests/test_fastpath_parity.py`` enforces differentially.
 """
 
 from __future__ import annotations
@@ -50,10 +62,51 @@ from .microword import (
     constant_value,
 )
 from .nextpc import ControlSection, NextOutcome
+from .plancache import (
+    A_IFU,
+    A_MD,
+    A_Q,
+    A_RM,
+    A_T,
+    B_CONST,
+    B_Q,
+    B_RM,
+    B_T,
+    EXTB_CPREG,
+    EXTB_IFUDATA,
+    EXTB_IFUPC,
+    EXTB_LINK,
+    EXTB_MD,
+    EXTB_THISTASK,
+    NEXT_BRANCH,
+    NEXT_CALL,
+    NEXT_DISPATCH8,
+    NEXT_DISPATCH256,
+    NEXT_MACRO,
+    NEXT_NOTIFY,
+    NEXT_RETURN,
+    NEXT_STATIC,
+    REF_FETCH,
+    REF_IOFETCH,
+    REF_IOSTORE,
+    REF_STORE,
+    RES_LSH,
+    RES_RSH,
+    RES_SHIFT_MASKMD,
+    RES_SHIFT_MASKZ,
+    RES_SHIFT_OUT,
+    ExecutionPlan,
+    MicrostoreImage,
+    compile_plan,
+)
 from .registers import RegisterFile
 from .shifter import ShiftControl, shift, shift_masked
 from .stack import StackUnit
 from .taskpipe import TaskPipeline
+
+#: Key space of the bypass latch (``Processor._pending``): RM addresses
+#: are their own 0..255 keys; task *t*'s T register is ``T_KEY_BASE + t``.
+T_KEY_BASE = 256
 
 #: Consecutive held cycles after which the simulator declares livelock.
 HOLD_LIMIT = 100_000
@@ -76,14 +129,22 @@ class Processor:
         self.memory = MemorySystem(config, self.counters)
         self.ifu = Ifu(self.memory, decode_cycles=config.ifu_decode_cycles)
         self.console = Console(config.im_size)
-        self.im: List[Optional[MicroInstruction]] = [None] * config.im_size
+        # Plans are compiled per IM slot on first fetch and dropped when
+        # the slot is rewritten; the MicrostoreImage funnels every write
+        # path (console, bootstrap loader, load_image, direct pokes)
+        # into _invalidate_plan.
+        self._plans: List[Optional[ExecutionPlan]] = [None] * config.im_size
+        self._plan_enabled = config.plan_cache_enabled
+        self.im: MicrostoreImage = MicrostoreImage(config.im_size, self._invalidate_plan)
+        self.console.on_im_write = self._invalidate_plan
         self.symbols: Dict[str, int] = {}
         self.this_pc = 0
         self.halted = False
         self.now = 0
         self.trace_hook: Optional[Callable[[int, int, MicroInstruction, bool], None]] = None
-        # Bypass latch: (space, key) -> value, from the previous instruction.
-        self._pending: Dict[Tuple[str, int], int] = {}
+        # Bypass latch, from the previous instruction: RM address -> value
+        # for RM writes, T_KEY_BASE + task -> value for T writes.
+        self._pending: Dict[int, int] = {}
         self._devices: List[object] = []
         self._device_by_address: Dict[int, object] = {}
         self._device_by_task: Dict[int, object] = {}
@@ -143,6 +204,17 @@ class Processor:
 
     def step(self) -> None:
         """Advance the whole machine by one microcycle."""
+        if self._plan_enabled:
+            self._step_plan()
+        else:
+            self._step_interp()
+
+    def _step_interp(self) -> None:
+        """One cycle, interpretively: re-decode every microword field.
+
+        This is the reference implementation; :meth:`_step_plan` must
+        remain observationally identical to it.
+        """
         task = self.pipe.this_task
         pc = self.this_pc
         inst = self.im[pc]
@@ -191,17 +263,353 @@ class Processor:
 
     def run(self, max_cycles: int = 1_000_000) -> int:
         """Step until FF ``HALT`` or *max_cycles*; returns cycles used."""
-        start = self.counters.cycles
-        while not self.halted and self.counters.cycles - start < max_cycles:
-            self.step()
-        return self.counters.cycles - start
+        # The hot loop: bind the cycle implementation and the counters
+        # once instead of re-resolving them a million times.
+        step = self._step_plan if self._plan_enabled else self._step_interp
+        counters = self.counters
+        start = counters.cycles
+        limit = start + max_cycles
+        while not self.halted and counters.cycles < limit:
+            step()
+        return counters.cycles - start
 
     def run_until(self, predicate: Callable[["Processor"], bool], max_cycles: int = 1_000_000) -> int:
         """Step until *predicate(self)* or *max_cycles*; returns cycles used."""
-        start = self.counters.cycles
-        while not predicate(self) and self.counters.cycles - start < max_cycles:
-            self.step()
-        return self.counters.cycles - start
+        step = self._step_plan if self._plan_enabled else self._step_interp
+        counters = self.counters
+        start = counters.cycles
+        limit = start + max_cycles
+        while not predicate(self) and counters.cycles < limit:
+            step()
+        return counters.cycles - start
+
+    # ------------------------------------------------------------------
+    # the execution-plan fast path (DESIGN.md section 5)
+    # ------------------------------------------------------------------
+
+    def _invalidate_plan(self, index) -> None:
+        """Drop the compiled plan(s) for a rewritten IM slot."""
+        if isinstance(index, slice):
+            for i in range(*index.indices(len(self._plans))):
+                self._plans[i] = None
+        else:
+            self._plans[index] = None
+
+    def _get_plan(self, pc: int, task: int) -> ExecutionPlan:
+        """The slot's plan, compiling it on this first fetch."""
+        inst = self.im[pc]
+        if inst is None:
+            raise MicrocodeCrash(f"task {task} fetched uninitialized microstore at {pc:#o}")
+        plan = compile_plan(inst, pc, self.control)
+        self._plans[pc] = plan
+        return plan
+
+    def _step_plan(self) -> None:
+        """One cycle through the plan cache.
+
+        Same observable behaviour as :meth:`_step_interp`, with decode
+        hoisted to compile time and the cycle tail (counters, TPC, the
+        NEXT decision, clock ticks, arbitration) inlined.
+        """
+        pipe = self.pipe
+        task = pipe.this_task
+        pc = self.this_pc
+        plan = self._plans[pc]
+        if plan is None:
+            plan = self._get_plan(pc, task)
+        memory = self.memory
+
+        # --- Hold (section 5.7); mirrors _check_hold.
+        held = False
+        if not plan.hold_none:
+            if plan.hold_fastio and memory.storage_busy:
+                held = True
+            elif plan.hold_md and not memory.md_ready(task):
+                held = True
+            elif plan.hold_nextmacro and not self.ifu.dispatch_ready:
+                held = True
+        if held:
+            self._consecutive_holds += 1
+            if self._consecutive_holds > HOLD_LIMIT:
+                raise MicrocodeCrash(
+                    f"task {task} held {HOLD_LIMIT} consecutive cycles at {pc:#o}"
+                )
+            next_pc = pc  # "no operation, jump to self"
+            blocked = False
+            if self._pending:
+                self._commit_pending()  # clocks keep running (section 5.7)
+        else:
+            self._consecutive_holds = 0
+            next_pc, blocked = self._execute_plan(plan, task, pc)
+
+        counters = self.counters
+        counters.cycles += 1
+        counters.task_cycles[task] += 1
+        if held:
+            counters.held_cycles += 1
+            counters.task_held[task] += 1
+        else:
+            counters.instructions += 1
+            counters.task_instructions[task] += 1
+        if self.trace_hook is not None:
+            self.trace_hook(self.now, pc, plan.inst, held)
+
+        # TPC is written every cycle with THISTASKNEXTPC (section 6.2.2);
+        # then the NEXT decision (TaskPipeline.decide_next, inlined).
+        tpc = pipe.tpc
+        tpc[task] = next_pc
+        best = pipe.best_task
+        if blocked:
+            counters.blocks += 1
+            pipe.ready &= ~(1 << task)
+            nxt = best
+        elif best > task:
+            pipe.ready |= 1 << task
+            nxt = best
+        else:
+            nxt = task
+        pipe.ready &= ~(1 << nxt)
+        pipe.this_task = nxt
+        if nxt != task:
+            counters.task_switches += 1
+        self.this_pc = tpc[nxt]
+
+        # Devices observe the NEXT published at the end of the *previous*
+        # cycle (the two-instruction minimum of section 6.2.1).
+        granted_task = self._published_next
+        self._published_next = nxt
+        for device in self._devices:
+            device.tick(self, granted=(granted_task == device.task))
+
+        # Clock the memory and the IFU; both reduce to now += 1 when
+        # nothing is in flight.
+        if memory._fast_in_flight:
+            memory.tick()
+        else:
+            memory.now += 1
+        ifu = self.ifu
+        if ifu.running:
+            ifu.tick()
+        else:
+            ifu.now += 1
+        self.now += 1
+
+        # Stage 1 of the task pipeline (TaskPipeline.arbitrate, inlined).
+        requests = pipe.lines | pipe.ready
+        best = requests.bit_length() - 1 if requests else EMULATOR_TASK
+        pipe.best_task = best
+        pipe.best_pc = tpc[best]
+
+    def _execute_plan(self, plan: ExecutionPlan, task: int, pc: int) -> Tuple[int, bool]:
+        """Execute one compiled instruction; mirrors :meth:`_execute`."""
+        regs = self.regs
+        memory = self.memory
+        pending = self._pending
+        bypass = self.config.bypass_enabled
+        ff = plan.ff
+        stack_op = plan.block and task == EMULATOR_TASK
+        # Every MD use sees the value as of this instruction's operand
+        # fetch, even if the instruction also starts a new reference.
+        md_before = memory._refs[task].md_value
+
+        # --- operand reads (first half cycle), through the bypass network.
+        if stack_op:
+            rm_value = self.stack.read_top()
+        else:
+            rm_addr = ((regs.rbase[task] & 0xF) << 4) | plan.rsel
+            rm_value = pending.get(rm_addr) if bypass else None
+            if rm_value is None:
+                rm_value = regs.rm[rm_addr]
+        t_value = pending.get(T_KEY_BASE + task) if bypass else None
+        if t_value is None:
+            t_value = regs.t[task]
+
+        # --- B bus.
+        b_kind = plan.b_kind
+        if b_kind == B_CONST:
+            b_value = plan.b_const
+        elif b_kind == B_RM:
+            b_value = rm_value
+        elif b_kind == B_T:
+            b_value = t_value
+        elif b_kind == B_Q:
+            b_value = regs.q
+        else:  # EXTB: the plan names the external source.
+            extb = plan.extb_kind
+            if extb == EXTB_MD:
+                b_value = md_before
+            elif extb == EXTB_IFUDATA:
+                b_value = self.ifu.read_operand()
+            elif extb == EXTB_CPREG:
+                b_value = self.console.cpreg
+            elif extb == EXTB_LINK:
+                b_value = word(self.control.link[task])
+            elif extb == EXTB_IFUPC:
+                b_value = word(self.ifu.pc)
+            elif extb == EXTB_THISTASK:
+                b_value = task
+            else:  # INPUT, FAULTS, or a mis-encoded selector
+                b_value = self._read_extb(task, ff)
+
+        # --- A bus (MEMADDRESS is a copy of A).
+        a_kind = plan.a_kind
+        if a_kind == A_RM:
+            a_value = rm_value
+        elif a_kind == A_T:
+            a_value = t_value
+        elif a_kind == A_MD:
+            a_value = md_before
+        elif a_kind == A_IFU:
+            a_value = self.ifu.read_operand()
+        else:  # A_Q
+            a_value = regs.q
+
+        # Operand reads are done: the previous instruction's results (if
+        # any) land in the RAMs now (Figure 2).
+        if pending:
+            rm = regs.rm
+            t = regs.t
+            for key, value in pending.items():
+                if key < T_KEY_BASE:
+                    rm[key] = value
+                else:
+                    t[key - T_KEY_BASE] = value & 0xFFFF
+            pending.clear()
+
+        # --- ALU (direct-dispatch closure; same facts as AluResult).
+        alu_value, carry, overflow, arithmetic = self.alu.fast_ops[plan.aluop](
+            a_value, b_value, regs.saved_carry[task]
+        )
+        if arithmetic:
+            regs.saved_carry[task] = carry
+
+        # --- RESULT bus: ALU output unless an FF source overrides it.
+        result = alu_value
+        res_kind = plan.res_kind
+        if res_kind:
+            if res_kind == RES_SHIFT_OUT:
+                result = shift(ShiftControl.decode(regs.shiftctl), rm_value, t_value)
+            elif res_kind == RES_SHIFT_MASKZ:
+                result = shift_masked(
+                    ShiftControl.decode(regs.shiftctl), rm_value, t_value, 0
+                )
+            elif res_kind == RES_SHIFT_MASKMD:
+                result = shift_masked(
+                    ShiftControl.decode(regs.shiftctl), rm_value, t_value, md_before
+                )
+            elif res_kind == RES_LSH:
+                result = (alu_value << 1) & 0xFFFF
+            elif res_kind == RES_RSH:
+                result = (alu_value >> 1) & 0xFFFF
+            else:  # RES_OTHER: the READ_* family
+                override = self._result_override(
+                    task, ff, rm_value, t_value, a_value, b_value, alu_value
+                )
+                if override is not None:
+                    result = override
+
+        # --- memory reference start (address = A, store data = B).
+        ref_kind = plan.ref_kind
+        if ref_kind:
+            membase = regs.membase[task]
+            if ref_kind == REF_FETCH:
+                memory.start_fetch(task, membase, a_value)
+            elif ref_kind == REF_STORE:
+                memory.start_store(task, membase, a_value, b_value)
+            elif ref_kind == REF_IOFETCH:
+                port = self._device_by_task.get(task)
+                if port is None:
+                    raise DeviceError(
+                        f"task {task} started fast I/O with no device attached"
+                    )
+                memory.start_fastio_fetch(task, membase, a_value, port)
+            elif ref_kind == REF_IOSTORE:
+                port = self._device_by_task.get(task)
+                if port is None:
+                    raise DeviceError(
+                        f"task {task} started fast I/O with no device attached"
+                    )
+                memory.start_fastio_store(task, membase, a_value, port)
+            else:  # REF_BAD: raise the exact interpretive error
+                self._start_reference(plan.inst, task, a_value, b_value, plan.ff_is_function)
+
+        # --- late branch condition (ORed into NEXTPC's low bit).
+        condition_taken = False
+        cond = plan.cond
+        if cond >= 0:
+            if cond == 0:  # ALU_ZERO
+                condition_taken = alu_value == 0
+            elif cond == 1:  # ALU_NONZERO
+                condition_taken = alu_value != 0
+            elif cond == 2:  # ALU_NEG
+                condition_taken = alu_value >= 0x8000
+            elif cond == 3:  # CARRY
+                condition_taken = carry
+            elif cond == 4:  # COUNT_NONZERO, with the decrement side effect
+                condition_taken = regs.count != 0
+                regs.count = (regs.count - 1) & 0xFFFF
+            elif cond == 5:  # R_ODD
+                condition_taken = bool(result & 1)
+            elif cond == 7:  # OVERFLOW
+                condition_taken = overflow
+            else:  # IOATN
+                device = self._device_by_address.get(regs.ioaddress[task])
+                condition_taken = bool(device is not None and device.attention)
+
+        # --- FF side effects.
+        if plan.ff_effect:
+            self._apply_ff(plan.inst, task, ff, b_value, a_value, result, md_before)
+
+        # --- NEXTPC (targets precomputed per slot; see compile_plan).
+        consumed = plan.consumes_ifu
+        next_kind = plan.next_kind
+        if next_kind == NEXT_STATIC:
+            next_pc = plan.next_target
+        elif next_kind == NEXT_BRANCH:
+            next_pc = plan.next_target | (1 if condition_taken else 0)
+        elif next_kind == NEXT_MACRO:
+            if consumed:
+                self.ifu.consume_operand()
+                consumed = False
+            next_pc = self.ifu.take_dispatch()
+        elif next_kind == NEXT_CALL:
+            self.control.link[task] = plan.link_value
+            next_pc = plan.next_target
+        elif next_kind == NEXT_RETURN:
+            link = self.control.link
+            next_pc = link[task]
+            link[task] = plan.link_value
+        elif next_kind == NEXT_DISPATCH8:
+            next_pc = (plan.next_target + (b_value & 0x7)) & self.control.im_mask
+        elif next_kind == NEXT_DISPATCH256:
+            next_pc = (plan.next_target + (b_value & 0xFF)) & self.control.im_mask
+        elif next_kind == NEXT_NOTIFY:
+            next_pc = plan.next_target
+            self.console.record_notify(pc)
+        else:  # NEXT_BAD: mis-encoded; the reference path raises
+            self.control.compute(
+                plan.inst, pc, task, condition_taken, b_value, plan.ff_is_function
+            )
+            raise AssertionError("NEXT_BAD plan failed to raise")
+        if consumed:
+            self.ifu.consume_operand()
+
+        # --- writeback: stage this instruction's result in the latch.
+        # The RM address is recomputed because an FF (RBASE_B) may have
+        # changed RBASE this very instruction.
+        if stack_op:
+            self.stack.adjust(plan.stack_delta)
+            if plan.loads_rm:
+                self.stack.write_top(result)
+            if plan.loads_t:
+                pending[T_KEY_BASE + task] = result
+        else:
+            if plan.loads_rm:
+                pending[((regs.rbase[task] & 0xF) << 4) | plan.rsel] = result
+            if plan.loads_t:
+                pending[T_KEY_BASE + task] = result
+
+        return next_pc, plan.block and task != EMULATOR_TASK
 
     # ------------------------------------------------------------------
     # hold evaluation (section 5.7)
@@ -338,12 +746,12 @@ class Processor:
             if inst.lc.loads_rm:
                 self.stack.write_top(result)
             if inst.lc.loads_t:
-                self._pending[("t", task)] = result
+                self._pending[T_KEY_BASE + task] = result
         else:
             if inst.lc.loads_rm:
-                self._pending[("rm", regs.rm_address(task, inst.rsel))] = result
+                self._pending[regs.rm_address(task, inst.rsel)] = result
             if inst.lc.loads_t:
-                self._pending[("t", task)] = result
+                self._pending[T_KEY_BASE + task] = result
 
         blocked = inst.block and task != EMULATOR_TASK
         return next_pc, blocked
@@ -353,25 +761,26 @@ class Processor:
     def _read_rm(self, task: int, rsel: int) -> int:
         address = self.regs.rm_address(task, rsel)
         if self.config.bypass_enabled:
-            pending = self._pending.get(("rm", address))
+            pending = self._pending.get(address)
             if pending is not None:
                 return pending
         return self.regs.rm[address]
 
     def _read_t(self, task: int) -> int:
         if self.config.bypass_enabled:
-            pending = self._pending.get(("t", task))
+            pending = self._pending.get(T_KEY_BASE + task)
             if pending is not None:
                 return pending
         return self.regs.read_t(task)
 
     def _commit_pending(self) -> None:
-        for (space, key), value in self._pending.items():
-            if space == "rm":
-                self.regs.rm[key] = value
+        regs = self.regs
+        for key, value in self._pending.items():
+            if key < T_KEY_BASE:
+                regs.rm[key] = value
             else:
-                self.regs.write_t(key, value)
-        self._pending = {}
+                regs.write_t(key - T_KEY_BASE, value)
+        self._pending.clear()
 
     # --- EXTB sources -----------------------------------------------------
 
@@ -417,19 +826,14 @@ class Processor:
         b_value: int,
         alu_value: int,
     ) -> Optional[int]:
-        if ff == FF.SHIFT_OUT:
-            return shift(ShiftControl.decode(self.regs.shiftctl), rm_value, t_value)
-        if ff == FF.SHIFT_MASKZ:
-            return shift_masked(
-                ShiftControl.decode(self.regs.shiftctl), rm_value, t_value, 0
-            )
-        if ff == FF.SHIFT_MASKMD:
-            return shift_masked(
-                ShiftControl.decode(self.regs.shiftctl),
-                rm_value,
-                t_value,
-                self.memory.read_md(task),
-            )
+        if ff in (FF.SHIFT_OUT, FF.SHIFT_MASKZ, FF.SHIFT_MASKMD):
+            # One decode of the live SHIFTCTL covers all three shift paths.
+            control = ShiftControl.decode(self.regs.shiftctl)
+            if ff == FF.SHIFT_OUT:
+                return shift(control, rm_value, t_value)
+            if ff == FF.SHIFT_MASKZ:
+                return shift_masked(control, rm_value, t_value, 0)
+            return shift_masked(control, rm_value, t_value, self.memory.read_md(task))
         if ff == FF.READ_SHIFTCTL:
             return self.regs.shiftctl
         if ff == FF.RESULT_LSH:
@@ -657,7 +1061,7 @@ class Processor:
         new_q = ((total & 1) << 15) | (regs.q >> 1)
         new_acc = (carry << 15) | (total >> 1)
         regs.write_q(new_q)
-        self._pending[("t", task)] = word(new_acc)
+        self._pending[T_KEY_BASE + task] = word(new_acc)
 
     def _divide_step(self, task: int, aluop: int, a_value: int) -> None:
         """One non-restoring-free step of 32/16 divide.
@@ -675,4 +1079,4 @@ class Processor:
             shifted -= a_value
             q |= 1
         regs.write_q(q)
-        self._pending[("t", task)] = word(shifted)
+        self._pending[T_KEY_BASE + task] = word(shifted)

@@ -23,6 +23,8 @@ paper says is loaded "with values useful for field extraction".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict
 
 from ..errors import EncodingError
 from ..types import WORD_MASK, ones_mask, rotate_left_32
@@ -31,6 +33,16 @@ _AMOUNT_MASK = 0x1F
 _LMASK_SHIFT = 5
 _RMASK_SHIFT = 9
 _MASK_WIDTH_MASK = 0xF
+
+#: SHIFTCTL bits that decode actually reads.
+_DECODE_MASK = _AMOUNT_MASK | (_MASK_WIDTH_MASK << _LMASK_SHIFT) | (
+    _MASK_WIDTH_MASK << _RMASK_SHIFT
+)
+
+#: Decode is pure and ShiftControl immutable, so SHIFTCTL values decode
+#: once ever; the cycle-stepped core decodes the live register every
+#: shift instruction and this memo makes that a dict hit.
+_DECODED: Dict[int, "ShiftControl"] = {}
 
 
 @dataclass(frozen=True)
@@ -59,13 +71,17 @@ class ShiftControl:
 
     @staticmethod
     def decode(value: int) -> "ShiftControl":
-        return ShiftControl(
-            amount=value & _AMOUNT_MASK,
-            left_mask=(value >> _LMASK_SHIFT) & _MASK_WIDTH_MASK,
-            right_mask=(value >> _RMASK_SHIFT) & _MASK_WIDTH_MASK,
-        )
+        key = value & _DECODE_MASK
+        control = _DECODED.get(key)
+        if control is None:
+            control = _DECODED[key] = ShiftControl(
+                amount=value & _AMOUNT_MASK,
+                left_mask=(value >> _LMASK_SHIFT) & _MASK_WIDTH_MASK,
+                right_mask=(value >> _RMASK_SHIFT) & _MASK_WIDTH_MASK,
+            )
+        return control
 
-    @property
+    @cached_property
     def mask(self) -> int:
         """The window of result bits the shifter output occupies.
 

@@ -1,0 +1,139 @@
+"""Core simulator speed: the execution-plan cache, before and after.
+
+``python -m repro.perf.corebench`` times the cycle-stepped core on three
+representative workloads -- the E1 Mesa emulator loop, the E2 BitBlt
+inner loop, and the E4 fast-I/O display service -- once with the plan
+cache disabled (the interpretive reference) and once enabled (the
+PRODUCTION default), then writes ``BENCH_core.json`` with the
+cycles-per-second of each and the speedup.  The simulated cycle counts
+are asserted identical between the two runs, so the file doubles as a
+parity receipt.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from typing import Callable, Dict
+
+from ..config import INTERPRETED, PRODUCTION, MachineConfig
+from ..core.processor import Processor
+from ..asm.assembler import Assembler
+from ..graphics.bitblt import BitBltFunction, build_bitblt_machine, run_bitblt
+from ..graphics.bitmap import Bitmap
+from ..io.display import DisplayController, display_fast_microcode
+from ..types import MUNCH_WORDS
+from .measure import measure_simulation_rate
+from .workloads import mesa_loop_sum
+
+
+def _e1_mesa_loop(config: MachineConfig) -> Callable[[], int]:
+    """E1: the byte-code emulator's load/store/branch loop."""
+    def scenario() -> int:
+        return mesa_loop_sum(200, config=config).run()
+    return scenario
+
+
+def _e2_bitblt(config: MachineConfig) -> Callable[[], int]:
+    """E2: the BitBlt inner loop (shift-and-merge at full tilt)."""
+    def scenario() -> int:
+        cpu = build_bitblt_machine(config)
+        src = Bitmap(cpu.memory, 0x2000, 31, 32)
+        dst = Bitmap(cpu.memory, 0x8000, 30, 32)
+        src.load_pattern()
+        dst.fill(0)
+        return run_bitblt(
+            cpu, BitBltFunction.COPY, src_va=0x2000, dst_va=0x8000,
+            words_per_row=30, rows=32, src_pitch=31, dst_pitch=30, shift=5,
+        )
+    return scenario
+
+
+def _e4_fast_io(config: MachineConfig) -> Callable[[], int]:
+    """E4: the display's fast-I/O munch service, tasking included."""
+    def scenario() -> int:
+        asm = Assembler(config)
+        asm.emit(idle=True)
+        display_fast_microcode(asm)
+        cpu = Processor(config)
+        cpu.load_image(asm.assemble())
+        cpu.memory.identity_map()
+        display = DisplayController(munch_interval_cycles=8, explicit_notify=False)
+        cpu.attach_device(display)
+        munches = 128
+        for i in range(munches * MUNCH_WORDS):
+            cpu.memory.debug_write(0x4000 + i, i & 0xFFFF)
+        display.begin_band(cpu, 0x4000, munches)
+        cpu.run_until(lambda m: display.done, max_cycles=200_000)
+        return cpu.counters.cycles
+    return scenario
+
+
+SCENARIOS: Dict[str, Callable[[MachineConfig], Callable[[], int]]] = {
+    "E1_mesa_loop_sum": _e1_mesa_loop,
+    "E2_bitblt_copy": _e2_bitblt,
+    "E4_display_fast_io": _e4_fast_io,
+}
+
+
+def run_corebench(repeats: int = 3) -> Dict[str, dict]:
+    """Measure every scenario under both cycle implementations."""
+    results: Dict[str, dict] = {}
+    for name, make in SCENARIOS.items():
+        before = measure_simulation_rate(make(INTERPRETED), repeats=repeats)
+        after = measure_simulation_rate(make(PRODUCTION), repeats=repeats)
+        if before.cycles != after.cycles:
+            raise AssertionError(
+                f"{name}: plan cache changed the simulated cycle count "
+                f"({before.cycles} != {after.cycles})"
+            )
+        results[name] = {
+            "simulated_cycles": after.cycles,
+            "before_cycles_per_second": round(before.cycles_per_second),
+            "after_cycles_per_second": round(after.cycles_per_second),
+            "speedup": round(after.cycles_per_second / before.cycles_per_second, 2),
+        }
+    return results
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_core.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing runs per scenario (best one wins)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    try:
+        output = open(args.output, "w")
+    except OSError as exc:
+        parser.error(f"cannot write {args.output}: {exc}")
+
+    results = run_corebench(repeats=args.repeats)
+    report = {
+        "benchmark": "core simulator cycle rate, plan cache off vs on",
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "workloads": results,
+    }
+    with output as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    width = max(len(n) for n in results) + 2
+    print(f"{'workload':<{width}}{'before c/s':>12}{'after c/s':>12}{'speedup':>9}")
+    for name, row in results.items():
+        print(
+            f"{name:<{width}}{row['before_cycles_per_second']:>12}"
+            f"{row['after_cycles_per_second']:>12}{row['speedup']:>8.2f}x"
+        )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,11 +10,47 @@ the macroinstruction whose handler is running.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..emulators.isa import EmulatorContext
 from ..types import EMULATOR_TASK
+
+
+@dataclass
+class SimulationRate:
+    """Wall-clock speed of the simulator itself over one scenario."""
+
+    cycles: int      #: simulated machine cycles the scenario executed
+    seconds: float   #: host wall-clock time of the best run
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.cycles / self.seconds if self.seconds > 0 else 0.0
+
+
+def measure_simulation_rate(
+    scenario: Callable[[], int], repeats: int = 3
+) -> SimulationRate:
+    """Time *scenario* (which returns simulated cycles) on the host.
+
+    The scenario is run *repeats* times and the fastest run wins, the
+    usual defense against interference from the rest of the host.  This
+    measures the simulator, not the Dorado: the cycle counts it divides
+    by are identical whichever cycle implementation runs (see
+    ``tests/test_fastpath_parity.py``); only the seconds change.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    best: Optional[SimulationRate] = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        cycles = scenario()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best.seconds:
+            best = SimulationRate(cycles=cycles, seconds=elapsed)
+    return best
 
 
 @dataclass
