@@ -46,9 +46,11 @@ from .errors import (
     DoradoError,
     EmulatorError,
     EncodingError,
+    HoldTimeout,
     MicrocodeCrash,
     PlacementError,
 )
+from .fault import FaultConfig, InjectionPlan
 
 __version__ = "1.0.0"
 
@@ -63,8 +65,11 @@ __all__ = [
     "DoradoError",
     "EmulatorError",
     "EncodingError",
+    "FaultConfig",
     "FF",
+    "HoldTimeout",
     "Image",
+    "InjectionPlan",
     "LoadControl",
     "MachineConfig",
     "MicroInstruction",

@@ -12,8 +12,10 @@ and the three-cycle task grain of the rejected simpler design
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigError
+from .fault.plan import FaultConfig
 
 
 @dataclass(frozen=True)
@@ -61,6 +63,19 @@ class MachineConfig:
             enforces this), and plans are invalidated whenever an IM
             word is rewritten (console write paths, bootstrap loader,
             or direct ``im[...]`` assignment).
+        fault_injection: When set, the machine builds a deterministic
+            :class:`~repro.fault.injector.FaultInjector` from this
+            seeded :class:`~repro.fault.plan.FaultConfig` and delivers
+            its events into storage, the map, and the disk controller
+            (DESIGN.md section 5.2).  None (the default) leaves every
+            fault path untouched.
+        fault_task: Task woken when a memory fault latches, modelling
+            the real machine's fault-task delivery.  The wakeup is a
+            level: it follows the fault latch and drops when microcode
+            reads FF ``READ_FAULTS``.  None disables delivery.
+        hold_limit: Consecutive held cycles before the Hold watchdog
+            raises :class:`~repro.errors.HoldTimeout`.  None uses the
+            module default (``processor.HOLD_LIMIT``).
     """
 
     cycle_ns: float = 60.0
@@ -78,6 +93,9 @@ class MachineConfig:
     ifu_decode_cycles: int = 1
     task_grain: int = 2
     plan_cache_enabled: bool = True
+    fault_injection: Optional[FaultConfig] = None
+    fault_task: Optional[int] = None
+    hold_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cycle_ns <= 0:
@@ -105,6 +123,13 @@ class MachineConfig:
             raise ConfigError("storage_words must be positive")
         if self.task_grain not in (2, 3):
             raise ConfigError("task_grain models only the 2- and 3-cycle designs")
+        if self.fault_task is not None and not 1 <= self.fault_task <= 15:
+            raise ConfigError(
+                "fault_task must be a device-priority task (1..15); "
+                "task 0 belongs to the emulator"
+            )
+        if self.hold_limit is not None and self.hold_limit < 1:
+            raise ConfigError("hold_limit must be at least 1")
 
     @property
     def num_pages(self) -> int:

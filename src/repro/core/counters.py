@@ -35,6 +35,12 @@ class Counters:
     slowio_words_out: int = 0
     memory_fetches: int = 0
     memory_stores: int = 0
+    faults_injected: int = 0
+    faults_latched: int = 0
+    ecc_corrected: int = 0
+    ecc_uncorrected: int = 0
+    disk_retries: int = 0
+    disk_remaps: int = 0
 
     def record_cycle(self, task: int, held: bool) -> None:
         self.cycles += 1
@@ -79,6 +85,12 @@ class Counters:
             slowio_words_out=self.slowio_words_out - earlier.slowio_words_out,
             memory_fetches=self.memory_fetches - earlier.memory_fetches,
             memory_stores=self.memory_stores - earlier.memory_stores,
+            faults_injected=self.faults_injected - earlier.faults_injected,
+            faults_latched=self.faults_latched - earlier.faults_latched,
+            ecc_corrected=self.ecc_corrected - earlier.ecc_corrected,
+            ecc_uncorrected=self.ecc_uncorrected - earlier.ecc_uncorrected,
+            disk_retries=self.disk_retries - earlier.disk_retries,
+            disk_remaps=self.disk_remaps - earlier.disk_remaps,
         )
 
     def copy(self) -> "Counters":
@@ -95,4 +107,10 @@ class Counters:
             "storage_reads": self.storage_reads,
             "storage_writes": self.storage_writes,
             "fastio_munches": self.fastio_munches,
+            "faults_injected": self.faults_injected,
+            "faults_latched": self.faults_latched,
+            "ecc_corrected": self.ecc_corrected,
+            "ecc_uncorrected": self.ecc_uncorrected,
+            "disk_retries": self.disk_retries,
+            "disk_remaps": self.disk_remaps,
         }

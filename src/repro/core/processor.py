@@ -41,7 +41,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import MachineConfig, PRODUCTION
-from ..errors import DeviceError, EncodingError, MicrocodeCrash
+from ..errors import DeviceError, EncodingError, HoldTimeout, MicrocodeCrash
 from ..mem.pipeline import MemorySystem
 from ..ifu.ifu import Ifu
 from ..types import EMULATOR_TASK, word
@@ -150,6 +150,14 @@ class Processor:
         self._device_by_task: Dict[int, object] = {}
         self._published_next = EMULATOR_TASK
         self._consecutive_holds = 0
+        # Fault plumbing (DESIGN.md section 5.2): an optional per-config
+        # hold limit for the watchdog, and fault-task delivery -- the
+        # wakeup line follows the fault latch, dropping when microcode
+        # reads FF READ_FAULTS.
+        self._hold_limit = config.hold_limit
+        self._fault_task = config.fault_task
+        if config.fault_task is not None:
+            self.memory.on_fault = self._on_memory_fault
 
     # ------------------------------------------------------------------
     # setup
@@ -182,6 +190,11 @@ class Processor:
                 raise DeviceError(f"task {device.task} claimed twice")
             if device.task == EMULATOR_TASK:
                 raise DeviceError("task 0 belongs to the emulator")
+            if device.task == self._fault_task:
+                raise DeviceError(
+                    f"task {device.task} is the fault task; a device "
+                    "sharing it would fight over the wakeup line"
+                )
             self._device_by_task[device.task] = device
         self._devices.append(device)
         device.attach(self)
@@ -197,6 +210,11 @@ class Processor:
 
     def address_of(self, label: str) -> int:
         return self.symbols[label]
+
+    @property
+    def fault_injector(self):
+        """The machine's fault injector, or None when injection is off."""
+        return self.memory.injector
 
     # ------------------------------------------------------------------
     # the machine cycle
@@ -224,10 +242,8 @@ class Processor:
         held = self._check_hold(inst, task)
         if held:
             self._consecutive_holds += 1
-            if self._consecutive_holds > HOLD_LIMIT:
-                raise MicrocodeCrash(
-                    f"task {task} held {HOLD_LIMIT} consecutive cycles at {pc:#o}"
-                )
+            if self._consecutive_holds > (self._hold_limit or HOLD_LIMIT):
+                raise self._hold_timeout(task, pc)
             next_pc = pc  # "no operation, jump to self"
             blocked = False
             self._commit_pending()  # clocks keep running (section 5.7)
@@ -330,10 +346,8 @@ class Processor:
                 held = True
         if held:
             self._consecutive_holds += 1
-            if self._consecutive_holds > HOLD_LIMIT:
-                raise MicrocodeCrash(
-                    f"task {task} held {HOLD_LIMIT} consecutive cycles at {pc:#o}"
-                )
+            if self._consecutive_holds > (self._hold_limit or HOLD_LIMIT):
+                raise self._hold_timeout(task, pc)
             next_pc = pc  # "no operation, jump to self"
             blocked = False
             if self._pending:
@@ -873,7 +887,28 @@ class Processor:
         )
         if clear:
             self.stack.clear_errors()
+            if self._fault_task is not None:
+                # The wakeup line follows the fault latch.
+                self.pipe.clear_wakeup(self._fault_task)
         return word(value)
+
+    # --- fault-task delivery and the Hold watchdog -----------------------------
+
+    def _on_memory_fault(self, bits: int) -> None:
+        self.pipe.set_wakeup(self._fault_task)
+
+    def _hold_timeout(self, task: int, pc: int) -> HoldTimeout:
+        """Build the diagnosable watchdog error (section 5.7 livelock)."""
+        md_valid, md_ready_at, storage_busy_until = self.memory.ref_state(task)
+        return HoldTimeout(
+            task=task,
+            pc=pc,
+            cycle=self.now,
+            holds=self._consecutive_holds,
+            md_valid=md_valid,
+            md_ready_at=md_ready_at,
+            storage_busy_until=storage_busy_until,
+        )
 
     # --- memory-reference start ----------------------------------------------
 

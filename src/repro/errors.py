@@ -40,6 +40,42 @@ class MicrocodeCrash(DoradoError):
     """
 
 
+class HoldTimeout(MicrocodeCrash):
+    """The Hold watchdog: a task was held past the configured limit.
+
+    The real machine would simply livelock if a reference never
+    completed; the simulator raises instead, carrying enough of the
+    pipeline state (task, microaddress, cycle, MEMDATA readiness) to
+    diagnose which reference never became ready.
+    """
+
+    def __init__(
+        self,
+        task: int,
+        pc: int,
+        cycle: int,
+        holds: int,
+        md_valid: bool = False,
+        md_ready_at: int = 0,
+        storage_busy_until: int = 0,
+    ) -> None:
+        self.task = task
+        self.pc = pc
+        self.cycle = cycle
+        self.holds = holds
+        self.md_valid = md_valid
+        self.md_ready_at = md_ready_at
+        self.storage_busy_until = storage_busy_until
+        md = (
+            f"MEMDATA ready at cycle {md_ready_at}" if md_valid
+            else "no reference ever completed for this task"
+        )
+        super().__init__(
+            f"task {task} held {holds} consecutive cycles at {pc:#o} "
+            f"(cycle {cycle}; {md}; storage busy until {storage_busy_until})"
+        )
+
+
 class DeviceError(DoradoError):
     """An I/O device model was used inconsistently."""
 

@@ -19,7 +19,7 @@ can take it (see EXPERIMENTS.md, E3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..asm.assembler import Assembler
 from ..core.functions import FF
@@ -46,10 +46,17 @@ class DiskGeometry:
     sectors: int = 64
     words_per_sector: int = 256
     word_interval_cycles: int = 27  #: ~9.9 Mbit/s at 60 ns/cycle
+    spare_sectors: int = 2          #: replacement pool for bad sectors
+    max_retries: int = 4            #: retry budget per transfer error
+    retry_backoff_cycles: int = 32  #: wait between retry attempts
 
     def __post_init__(self) -> None:
         if self.words_per_sector % 2:
             raise DeviceError("words_per_sector must be even (two words per wakeup)")
+        if self.spare_sectors < 0 or self.max_retries < 0:
+            raise DeviceError("spare_sectors and max_retries cannot be negative")
+        if self.retry_backoff_cycles < 1:
+            raise DeviceError("retry_backoff_cycles must be at least 1")
 
 
 class DiskController(Device):
@@ -64,7 +71,8 @@ class DiskController(Device):
         super().__init__("disk", task, io_address, register_count=2)
         self.geometry = geometry
         self.surface: List[List[int]] = [
-            [0] * geometry.words_per_sector for _ in range(geometry.sectors)
+            [0] * geometry.words_per_sector
+            for _ in range(geometry.sectors + geometry.spare_sectors)
         ]
         self.mode = "idle"
         self.sector = 0
@@ -72,18 +80,33 @@ class DiskController(Device):
         self.requested_words = 0
         self.fifo: List[int] = []
         self.done = False
+        self.hard_error = False
+        #: Bad-sector table: logical sector -> spare physical sector.
+        self.remap: Dict[int, int] = {}
+        self._next_spare = geometry.sectors
         self._timer = 0
         self._done_wakeup_sent = False
+        self._injector = None
+        self._fail_remaining = 0   #: failures left in the current error
+        self._error_attempts = 0   #: attempts burned on the current error
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        self._injector = machine.memory.injector
 
     # --- host-side surface access ------------------------------------------
+
+    def _physical(self, sector: int) -> int:
+        """Logical sector to physical, through the bad-sector table."""
+        return self.remap.get(sector, sector)
 
     def fill_sector(self, sector: int, values: List[int]) -> None:
         if len(values) != self.geometry.words_per_sector:
             raise DeviceError("fill_sector needs a full sector of words")
-        self.surface[sector] = [word(v) for v in values]
+        self.surface[self._physical(sector)] = [word(v) for v in values]
 
     def read_sector_image(self, sector: int) -> List[int]:
-        return list(self.surface[sector])
+        return list(self.surface[self._physical(sector)])
 
     # --- transfer setup (the console pokes registers and TPC) -----------------
 
@@ -107,6 +130,9 @@ class DiskController(Device):
         self.word_index = 0
         self.fifo = []
         self.done = False
+        self.hard_error = False
+        self._fail_remaining = 0
+        self._error_attempts = 0
         self._done_wakeup_sent = False
         self._unclaimed = 0
         self._timer = self.geometry.word_interval_cycles
@@ -122,10 +148,78 @@ class DiskController(Device):
         self.requested_words = 0
         self.fifo = []
         self.done = False
+        self.hard_error = False
+        self._fail_remaining = 0
+        self._error_attempts = 0
         self._done_wakeup_sent = False
         self._timer = self.geometry.word_interval_cycles
         # The priming instruction needs one unit of service to run.
         self.request_service(1)
+
+    # --- transfer errors: bounded retry, then remap (fault injection) ---------
+
+    def _transfer_ok(self, machine) -> bool:
+        """Gate one surface word transfer through the injected-error model.
+
+        A due :class:`~repro.fault.plan.FaultKind.DISK_TRANSFER` event
+        makes the next ``arg`` attempts fail; each failure costs one
+        ``retry_backoff_cycles`` wait.  An error outlasting the
+        ``max_retries`` budget marks the sector bad and degrades
+        gracefully: the transfer continues on a spare sector (see
+        :meth:`_give_up`).  Returns False while a retry is pending.
+        """
+        if self._injector is None:
+            return True
+        if self._fail_remaining == 0:
+            event = self._injector.disk_error_due()
+            if event is None:
+                return True
+            self._fail_remaining = max(1, event.arg)
+            self._error_attempts = 0
+        self._fail_remaining -= 1
+        self._error_attempts += 1
+        machine.counters.disk_retries += 1
+        if self._error_attempts > self.geometry.max_retries:
+            self._fail_remaining = 0
+            self._give_up(machine)
+            return True
+        self._injector.record(
+            "disk", "retry", self.sector,
+            f"attempt {self._error_attempts} failed at word {self.word_index}",
+        )
+        self._timer = self.geometry.retry_backoff_cycles
+        return False
+
+    def _give_up(self, machine) -> None:
+        """Retry budget exhausted: the sector is bad.  Degrade, don't die."""
+        logical = self.sector
+        spare = self._next_spare
+        if spare >= len(self.surface):
+            self.hard_error = True
+            self._injector.record(
+                "disk", "hard_error", logical, "spare pool exhausted"
+            )
+            return
+        self._next_spare += 1
+        # Carry over whatever already landed on the dying sector so a
+        # partially-written transfer finishes intact on the spare.
+        self.surface[spare] = list(self.surface[self._physical(logical)])
+        self.remap[logical] = spare
+        machine.counters.disk_remaps += 1
+        if self.mode == "read":
+            # The data under the failed word could not be read reliably;
+            # the remap protects future writes, and the status register
+            # tells the host this transfer is suspect.
+            self.hard_error = True
+            self._injector.record(
+                "disk", "remap", logical,
+                f"read unreliable; sector remapped to spare {spare}",
+            )
+        else:
+            self._injector.record(
+                "disk", "remap", logical,
+                f"write continues on spare {spare}",
+            )
 
     # --- device clock -----------------------------------------------------------
 
@@ -133,10 +227,11 @@ class DiskController(Device):
         if self.mode == "read":
             self._timer -= 1
             if self._timer <= 0 and self.word_index < self.geometry.words_per_sector:
-                self.fifo.append(self.surface[self.sector][self.word_index])
-                self.word_index += 1
-                self._unclaimed += 1
-                self._timer = self.geometry.word_interval_cycles
+                if self._transfer_ok(machine):
+                    self.fifo.append(self.surface[self._physical(self.sector)][self.word_index])
+                    self.word_index += 1
+                    self._unclaimed += 1
+                    self._timer = self.geometry.word_interval_cycles
             # Each request claims exactly the two words that triggered
             # it, so a burst resumed after preemption can never race a
             # fresh request for the same data.
@@ -156,9 +251,10 @@ class DiskController(Device):
         elif self.mode == "write":
             self._timer -= 1
             if self._timer <= 0 and self.fifo and self.word_index < self.geometry.words_per_sector:
-                self.surface[self.sector][self.word_index] = self.fifo.pop(0)
-                self.word_index += 1
-                self._timer = self.geometry.word_interval_cycles
+                if self._transfer_ok(machine):
+                    self.surface[self._physical(self.sector)][self.word_index] = self.fifo.pop(0)
+                    self.word_index += 1
+                    self._timer = self.geometry.word_interval_cycles
             want_more = self.requested_words < self.geometry.words_per_sector
             if want_more and len(self.fifo) <= 2 and self._service_pending == 0 and not self._was_granted:
                 self.request_service(1)
@@ -179,7 +275,11 @@ class DiskController(Device):
                 raise DeviceError("disk data FIFO underrun (microcode/pacing bug)")
             return self.fifo.pop(0)
         if offset == 1:
-            return (1 if self.done else 0) | (2 if self.mode != "idle" else 0)
+            return (
+                (1 if self.done else 0)
+                | (2 if self.mode != "idle" else 0)
+                | (4 if self.hard_error else 0)
+            )
         raise DeviceError(f"disk: no register {offset}")
 
     def write_register(self, offset: int, value: int) -> None:
@@ -204,9 +304,10 @@ class DiskController(Device):
         if self.mode == "write_drain":
             self._timer -= 1
             if self._timer <= 0 and self.fifo and self.word_index < self.geometry.words_per_sector:
-                self.surface[self.sector][self.word_index] = self.fifo.pop(0)
-                self.word_index += 1
-                self._timer = self.geometry.word_interval_cycles
+                if self._transfer_ok(machine):
+                    self.surface[self._physical(self.sector)][self.word_index] = self.fifo.pop(0)
+                    self.word_index += 1
+                    self._timer = self.geometry.word_interval_cycles
             if not self.fifo or self.word_index >= self.geometry.words_per_sector:
                 self.mode = "idle"
                 self.done = True

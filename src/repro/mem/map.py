@@ -73,6 +73,13 @@ class AddressTranslator:
         self._base_mask = (1 << base_register_bits) - 1
         self.bases = [0] * num_base_registers
         self.map: Dict[int, MapEntry] = {}
+        #: One-shot injected fault, armed by the memory pipeline right
+        #: before a timed reference translates (fault injection,
+        #: DESIGN.md section 5.2).  A spurious map or write-protect
+        #: fault makes this one translation fail as if the map RAM had
+        #: misread; the entry itself is untouched, so the next
+        #: reference succeeds.  Untimed debug reads never see it.
+        self.inject_next = None
 
     # --- base registers ----------------------------------------------------
 
@@ -114,6 +121,9 @@ class AddressTranslator:
         Sets the referenced bit on any successful translation and the
         dirty bit on a successful write, as the map hardware does.
         """
+        if self.inject_next is not None:
+            self.inject_next = None
+            return None
         entry = self.map.get(va >> PAGE_SHIFT)
         if entry is None or not entry.valid:
             return None

@@ -27,6 +27,8 @@ from typing import List, Optional
 
 from ..config import MachineConfig
 from ..errors import DeviceError
+from ..fault.injector import FaultInjector
+from ..fault.plan import FaultKind, InjectionPlan
 from ..types import MUNCH_WORDS, NUM_TASKS, word
 from ..core.counters import Counters
 from .cache import Cache
@@ -34,11 +36,14 @@ from .fastio import FastPort, FastTransfer
 from .map import PAGE_SHIFT, AddressTranslator
 from .storage import Storage
 
-# Fault-latch bits (FF READ_FAULTS / EXTB_FAULTS).  The stack-error bits
-# 0x8/0x10 are merged in by the processor.
+# Fault-latch bits (FF READ_FAULTS / EXTB_FAULTS).  The stack-error
+# byte (overflow in 3:0, underflow in 7:4) is merged in by the
+# processor at bit 3, occupying 0x8..0x400; the storage (double-bit
+# ECC) bit sits above it.
 FAULT_MAP = 0x1
 FAULT_WRITE_PROTECT = 0x2
 FAULT_BOUNDS = 0x4
+FAULT_STORAGE = 0x800
 
 
 @dataclass
@@ -67,6 +72,22 @@ class MemorySystem:
         self._storage_busy_until = 0
         self._refs = [_TaskRef() for _ in range(NUM_TASKS)]
         self._fast_in_flight: List[FastTransfer] = []
+        #: Called with the latched bits whenever a fault latches; the
+        #: processor installs the fault-task wakeup here.
+        self.on_fault: Optional[callable] = None
+        # Fault injection (DESIGN.md section 5.2): None by default, so
+        # the timed paths below pay only an `is not None` test.
+        if config.fault_injection is not None:
+            self.injector: Optional[FaultInjector] = FaultInjector(
+                InjectionPlan.from_config(config.fault_injection), self.counters
+            )
+            self.injector.bind(
+                clock=lambda: self.now,
+                on_uncorrectable=lambda: self._fault(FAULT_STORAGE),
+            )
+            self.storage.ecc = self.injector.ecc
+        else:
+            self.injector = None
 
     # --- cycle advance -------------------------------------------------------
 
@@ -86,6 +107,9 @@ class MemorySystem:
 
     def _fault(self, bits: int) -> None:
         self.fault_flags |= bits
+        self.counters.faults_latched += 1
+        if self.on_fault is not None:
+            self.on_fault(bits)
 
     def read_faults(self, clear: bool) -> int:
         value = self.fault_flags
@@ -121,6 +145,16 @@ class MemorySystem:
         """
         ref = self._refs[task]
         va = self.translator.virtual_address(membase, displacement)
+        injected = None
+        if self.injector is not None:
+            injected = self.injector.memory_fault_due(write=False, address=va)
+            if injected is FaultKind.BOUNDS:
+                self.counters.memory_fetches += 1
+                self._fault(FAULT_BOUNDS)
+                self._complete_fault(ref)
+                return True
+            if injected is not None:
+                self.translator.inject_next = injected
         ra = self.translator.translate(va, write=False)
         self.counters.memory_fetches += 1
         if ra is None:
@@ -150,11 +184,27 @@ class MemorySystem:
         """Begin a Store of *data*; stores never hold (write buffering)."""
         ref = self._refs[task]
         va = self.translator.virtual_address(membase, displacement)
+        injected = None
+        if self.injector is not None:
+            injected = self.injector.memory_fault_due(write=True, address=va)
+            if injected is FaultKind.BOUNDS:
+                self.counters.memory_stores += 1
+                self._fault(FAULT_BOUNDS)
+                self._complete_fault(ref)
+                return True
+            if injected is not None:
+                self.translator.inject_next = injected
         ra = self.translator.translate(va, write=True)
         self.counters.memory_stores += 1
         if ra is None:
-            entry = self.translator.entry_for(va)
-            self._fault(FAULT_WRITE_PROTECT if entry and entry.valid else FAULT_MAP)
+            if injected is FaultKind.MAP:
+                bits = FAULT_MAP
+            elif injected is FaultKind.WRITE_PROTECT:
+                bits = FAULT_WRITE_PROTECT
+            else:
+                entry = self.translator.entry_for(va)
+                bits = FAULT_WRITE_PROTECT if entry and entry.valid else FAULT_MAP
+            self._fault(bits)
             self._complete_fault(ref)
             return True
         if not self.storage.in_range(ra):
@@ -205,6 +255,11 @@ class MemorySystem:
     def read_md(self, task: int) -> int:
         """The task's MEMDATA.  Callers must have checked :meth:`md_ready`."""
         return self._refs[task].md_value
+
+    def ref_state(self, task: int) -> tuple:
+        """(md_valid, md_ready_at, storage_busy_until) for diagnostics."""
+        ref = self._refs[task]
+        return ref.md_valid, ref.md_ready_at, self._storage_busy_until
 
     # --- fast I/O (section 5.8) ---------------------------------------------------
 

@@ -24,6 +24,11 @@ class Storage:
             raise ConfigError(f"storage size {words} must be a positive multiple of {MUNCH_WORDS}")
         self.size = words
         self._data: List[int] = [0] * words
+        #: Optional ECC model on the munch read path; the memory system
+        #: installs an :class:`~repro.fault.injector.EccFilter` here
+        #: when fault injection is configured.  The stored data is never
+        #: modified -- errors happen "on the wires".
+        self.ecc = None
 
     def in_range(self, address: int) -> bool:
         return 0 <= address < self.size
@@ -42,7 +47,10 @@ class Storage:
     def read_munch(self, address: int) -> List[int]:
         """The 16 words of the munch containing *address*."""
         base = self.munch_base(address)
-        return self._data[base : base + MUNCH_WORDS]
+        data = self._data[base : base + MUNCH_WORDS]
+        if self.ecc is not None:
+            data = self.ecc.filter_read(base, data)
+        return data
 
     def write_munch(self, address: int, values: Sequence[int]) -> None:
         if len(values) != MUNCH_WORDS:

@@ -10,13 +10,20 @@ like::
     task 13 disk      ................####................
 
 which makes Hold windows and task multiplexing visible at a glance.
+
+Faulted runs (DESIGN.md section 5.2) leave a second kind of record: the
+:class:`~repro.fault.plan.FaultRecord` entries the injector appends to
+its trace.  :func:`format_fault_trace` renders those the same way the
+timeline renders cycles, so ``repro.perf.report`` can summarize what
+went wrong and what the machine did about it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from ..fault.plan import FaultRecord
 from ..types import NUM_TASKS
 
 
@@ -127,3 +134,19 @@ class PipelineTracer:
             name = labels.get(task, f"task {task:2d}")
             lines.append(f"{name:<14s}{''.join(rows[task])}")
         return "\n".join(lines)
+
+
+def format_fault_trace(records: Sequence[FaultRecord]) -> str:
+    """Render an injector's fault trace, one event per line::
+
+        cycle     38  storage  ecc_correctable   @0x4006  single-bit error...
+    """
+    if not records:
+        return "(no fault events)"
+    lines = []
+    for r in records:
+        lines.append(
+            f"cycle {r.cycle:>8d}  {r.component:<8s} {r.kind:<18s}"
+            f"@{r.address:#06x}  {r.detail}"
+        )
+    return "\n".join(lines)

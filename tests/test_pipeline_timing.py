@@ -1,0 +1,216 @@
+"""Boundary pins for the memory pipeline's Hold timing.
+
+The paper's numbers (section 3/6.2.1): a hit delivers MEMDATA exactly
+``cache_hit_cycles`` after the Fetch; a miss delivers exactly
+``miss_penalty`` after the reference starts (plus any wait for
+storage); dirty evictions and fast-I/O flushes each occupy storage for
+one extra ``storage_cycle``; one reference per task is outstanding.
+Each test counts cycles to the exact boundary: not-ready one cycle
+before, ready at it.
+"""
+
+import pytest
+
+from repro import MachineConfig
+from repro.mem.pipeline import MemorySystem
+from repro.types import MUNCH_WORDS
+
+
+def make(**kw):
+    kw.setdefault("storage_words", 1 << 16)
+    config = MachineConfig(**kw)
+    mem = MemorySystem(config)
+    mem.identity_map(256)
+    return mem
+
+
+def advance(mem, cycles):
+    for _ in range(cycles):
+        mem.tick()
+
+
+class RecordingPort:
+    def __init__(self):
+        self.delivered = []
+
+    def fast_deliver(self, address, words):
+        self.delivered.append((address, list(words)))
+
+    def fast_supply(self, address):
+        return [7] * MUNCH_WORDS
+
+
+# --------------------------------------------------------------------------
+# md_ready at exactly cache_hit_cycles / miss_penalty
+# --------------------------------------------------------------------------
+
+def test_hit_ready_at_exactly_cache_hit_cycles():
+    mem = make()
+    mem.start_fetch(0, 0, 0x20)          # warm the munch
+    advance(mem, mem.config.miss_penalty)
+    assert mem.md_ready(0)
+
+    assert mem.start_fetch(0, 0, 0x21)   # hit
+    hit = mem.config.cache_hit_cycles
+    assert not mem.md_ready(0), "hit data cannot be ready at cycle 0"
+    advance(mem, hit - 1)
+    assert not mem.md_ready(0), f"hit data ready {hit - 1} cycles in: too early"
+    advance(mem, 1)
+    assert mem.md_ready(0), f"hit data must be ready at exactly {hit} cycles"
+    assert mem.counters.cache_hits == 1 and mem.counters.cache_misses == 1
+
+
+def test_miss_ready_at_exactly_miss_penalty():
+    mem = make()
+    assert mem.start_fetch(0, 0, 0x40)
+    penalty = mem.config.miss_penalty
+    advance(mem, penalty - 1)
+    assert not mem.md_ready(0), f"miss data ready {penalty - 1} cycles in: too early"
+    advance(mem, 1)
+    assert mem.md_ready(0), f"miss data must be ready at exactly {penalty} cycles"
+
+
+def test_miss_waits_for_storage_then_counts_full_penalty():
+    """A miss issued while storage is busy starts its penalty clock only
+    when storage frees up (the reference 'starts' at the claim)."""
+    mem = make()
+    mem.start_fetch(0, 0, 0x00)          # task 0 occupies storage at cycle 0
+    storage_free_at = mem._storage_busy_until
+    assert storage_free_at == mem.config.storage_cycle
+    assert mem.start_fetch(1, 0, 0x100)  # different munch, storage busy
+    ready_at = storage_free_at + mem.config.miss_penalty
+    advance(mem, ready_at - 1)
+    assert not mem.md_ready(1)
+    advance(mem, 1)
+    assert mem.md_ready(1)
+
+
+def test_hit_under_miss_still_takes_hit_cycles():
+    """The cache takes a reference per cycle even while storage works."""
+    mem = make()
+    mem.start_fetch(0, 0, 0x20)
+    advance(mem, mem.config.miss_penalty)
+    mem.start_fetch(1, 0, 0x300)          # task 1 misses, occupies storage
+    assert mem.storage_busy
+    assert mem.start_fetch(0, 0, 0x22)    # task 0 hits under the miss
+    advance(mem, mem.config.cache_hit_cycles)
+    assert mem.md_ready(0)
+    assert not mem.md_ready(1)
+
+
+# --------------------------------------------------------------------------
+# one outstanding reference per task
+# --------------------------------------------------------------------------
+
+def test_task_busy_until_exactly_ready():
+    mem = make()
+    mem.start_fetch(0, 0, 0x40)
+    penalty = mem.config.miss_penalty
+    for _ in range(penalty - 1):
+        assert mem.task_busy(0)
+        mem.tick()
+    mem.tick()
+    assert not mem.task_busy(0), "task frees exactly when MEMDATA is ready"
+
+
+def test_new_fetch_rebinds_memdata_and_counts_both():
+    """MEMDATA follows the most recent fetch; the superseded reference
+    still cost a storage read (counting assertion)."""
+    mem = make()
+    mem.storage.write_word(0x40, 111)
+    mem.storage.write_word(0x140, 222)
+    mem.start_fetch(0, 0, 0x40)
+    mem.start_fetch(0, 0, 0x140)          # rebinds while the first is in flight
+    advance(mem, mem._storage_busy_until + mem.config.miss_penalty)
+    assert mem.md_ready(0)
+    assert mem.read_md(0) == 222
+    assert mem.counters.storage_reads == 2
+    assert mem.counters.memory_fetches == 2
+
+
+def test_tasks_have_independent_references():
+    mem = make()
+    mem.storage.write_word(0x40, 111)
+    mem.start_fetch(3, 0, 0x40)
+    advance(mem, mem.config.miss_penalty)
+    assert mem.md_ready(3)
+    assert not mem.md_ready(5), "a task with no reference is never ready"
+    assert not mem.task_busy(5)
+    assert mem.read_md(3) == 111
+
+
+# --------------------------------------------------------------------------
+# the extra storage cycle: dirty evictions and fast-I/O flushes
+# --------------------------------------------------------------------------
+
+def _evicting_addresses(mem, count):
+    """Addresses all mapping to cache set 0, one per distinct munch."""
+    span = mem.cache.num_sets * MUNCH_WORDS
+    return [i * span for i in range(count)]
+
+
+def test_dirty_eviction_charges_one_extra_storage_cycle():
+    mem = make(cache_lines=2, cache_ways=1)  # 2 sets, direct-mapped
+    a, b, c = _evicting_addresses(mem, 3)
+    storage_cycle = mem.config.storage_cycle
+
+    mem.start_store(0, 0, a, 0xBEEF)       # fill munch a, make it dirty
+    advance(mem, mem.config.miss_penalty)
+
+    start = mem.now
+    mem.start_fetch(0, 0, b)               # evicts dirty a: read + write-back
+    assert mem._storage_busy_until - start == 2 * storage_cycle, \
+        "a dirty eviction must occupy storage for exactly 2 storage cycles"
+    assert mem.counters.storage_writes == 1
+    advance(mem, mem.config.miss_penalty)
+
+    start = mem.now
+    mem.start_fetch(0, 0, c)               # evicts clean b: read only
+    assert mem._storage_busy_until - start == 1 * storage_cycle, \
+        "a clean eviction must occupy storage for exactly 1 storage cycle"
+    assert mem.counters.storage_writes == 1  # unchanged
+    assert mem.storage.read_word(a) == 0xBEEF, "write-back landed"
+
+
+def test_fastio_flush_charges_one_extra_storage_cycle():
+    mem = make()
+    port = RecordingPort()
+    storage_cycle = mem.config.storage_cycle
+
+    # Clean munch: IOFetch occupies storage for exactly one cycle and
+    # delivers one storage cycle after it starts.
+    assert mem.start_fastio_fetch(2, 0, 0x40, port)
+    assert mem._storage_busy_until - mem.now == 1 * storage_cycle
+    advance(mem, storage_cycle - 1)
+    assert not port.delivered
+    advance(mem, 1)
+    assert len(port.delivered) == 1
+
+    # Dirty cached munch: the flush write-back claims the extra cycle,
+    # so delivery lands 2 storage cycles out.
+    mem.start_store(0, 0, 0x80, 0xCAFE)
+    advance(mem, mem.config.miss_penalty)
+    writes_before = mem.counters.storage_writes
+    start = mem.now
+    assert mem.start_fastio_fetch(2, 0, 0x80, port)
+    assert mem._storage_busy_until - start == 2 * storage_cycle, \
+        "flushing a dirty munch must occupy storage for exactly 2 storage cycles"
+    assert mem.counters.storage_writes == writes_before + 1
+    advance(mem, 2 * storage_cycle - 1)
+    assert len(port.delivered) == 1
+    advance(mem, 1)
+    assert len(port.delivered) == 2
+    address, words = port.delivered[1]
+    assert words[0] == 0xCAFE, "the device sees the flushed (current) data"
+
+
+def test_fastio_holds_while_storage_busy_until_exact_cycle():
+    mem = make()
+    port = RecordingPort()
+    mem.start_fetch(0, 0, 0x500)           # miss occupies storage
+    busy_until = mem._storage_busy_until
+    assert not mem.start_fastio_fetch(2, 0, 0x40, port), "IOFetch must hold"
+    advance(mem, busy_until - mem.now - 1)
+    assert not mem.start_fastio_fetch(2, 0, 0x40, port), "still busy"
+    advance(mem, 1)
+    assert mem.start_fastio_fetch(2, 0, 0x40, port), "frees at the exact cycle"
