@@ -1,6 +1,106 @@
-"""``python -m repro``: print the paper-versus-measured tables."""
+"""``python -m repro``: the observability command line.
 
-from .perf.report import main
+With no arguments, prints every paper-versus-measured table (the
+historical behaviour).  With a workload selected, runs it with the
+requested observers attached through the instrumentation bus::
+
+    python -m repro --workload mesa_loop_sum --profile
+    python -m repro --workload lisp_list_sum --trace --metrics-json -
+    python -m repro --workload mesa_fib --profile --metrics-json run.json
+
+``--trace`` renders the per-task pipeline timeline, ``--profile`` the
+section-7-style per-opcode-class cost table, and ``--metrics-json``
+writes the structured counters/holds/tasks snapshot (``-`` for stdout).
+Tracer and profiler ride the same bus, so any combination composes; the
+observers are detached afterwards, leaving the machine's hooks pristine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from .perf.instrument import metrics_snapshot
+    from .perf.measure import OpcodeProfiler
+    from .perf.report import format_opcode_costs
+    from .perf.tracing import PipelineTracer
+    from .perf.workloads import ALL_WORKLOADS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables, or instrument one workload.",
+    )
+    parser.add_argument(
+        "--workload", choices=sorted(ALL_WORKLOADS), default=None,
+        help="run one emulator workload instead of the full report",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record every cycle and print the per-task timeline",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-opcode-class cost table (section 7 style)",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the structured metrics snapshot as JSON ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=5_000_000,
+        help="simulated-cycle budget for the workload",
+    )
+    args = parser.parse_args(argv)
+
+    wants_instruments = args.trace or args.profile or args.metrics_json is not None
+    if args.workload is None:
+        if wants_instruments:
+            parser.error("--trace/--profile/--metrics-json need --workload")
+        from .perf.report import main as report_main
+        report_main()
+        return 0
+
+    workload = ALL_WORKLOADS[args.workload]()
+    cpu = workload.ctx.cpu
+    tracer = profiler = None
+    if args.trace:
+        tracer = PipelineTracer(cpu).install()
+    if args.profile or args.metrics_json is not None:
+        profiler = OpcodeProfiler(workload.ctx)
+
+    cycles = workload.run(max_cycles=args.max_cycles)
+    print(f"{workload.name}: {cycles} cycles, verified")
+
+    if tracer is not None:
+        print()
+        print(tracer.timeline())
+    if args.profile and profiler is not None:
+        print()
+        print(format_opcode_costs(
+            profiler.table(), title=f"per-opcode-class costs: {workload.name}"
+        ))
+    if args.metrics_json is not None:
+        snapshot = metrics_snapshot(cpu)
+        snapshot["workload"] = {"name": workload.name, "cycles": cycles}
+        text = json.dumps(snapshot, indent=2)
+        if args.metrics_json == "-":
+            print()
+            print(text)
+        else:
+            with open(args.metrics_json, "w") as f:
+                f.write(text + "\n")
+            print(f"wrote {args.metrics_json}")
+
+    if tracer is not None:
+        tracer.uninstall()
+    if profiler is not None:
+        profiler.uninstall()
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -13,6 +13,18 @@ from typing import Dict, List
 
 from ..types import NUM_TASKS
 
+#: Hold-cause codes, as returned by ``Processor._check_hold`` and mirrored
+#: by the plan path's compiled hold flags (the priority order is the
+#: hardware's: a fast-I/O start blocked by busy storage, then MEMDATA not
+#: ready, then NextMacro with no decoded dispatch).
+HOLD_NONE = 0
+HOLD_STORAGE = 1
+HOLD_MD = 2
+HOLD_IFU = 3
+
+#: ``Counters.hold_causes`` index -> human-readable cause name.
+HOLD_CAUSE_NAMES = ("storage_busy", "md_wait", "ifu_wait")
+
 
 @dataclass
 class Counters:
@@ -41,6 +53,9 @@ class Counters:
     ecc_uncorrected: int = 0
     disk_retries: int = 0
     disk_remaps: int = 0
+    #: Held cycles by cause, indexed HOLD_STORAGE-1 / HOLD_MD-1 / HOLD_IFU-1
+    #: (see HOLD_CAUSE_NAMES); the three sum to ``held_cycles``.
+    hold_causes: List[int] = field(default_factory=lambda: [0, 0, 0])
 
     def record_cycle(self, task: int, held: bool) -> None:
         self.cycles += 1
@@ -51,6 +66,12 @@ class Counters:
         else:
             self.instructions += 1
             self.task_instructions[task] += 1
+
+    def hold_attribution(self) -> Dict[str, int]:
+        """Held cycles by cause: why did the machine wait?"""
+        attribution = dict(zip(HOLD_CAUSE_NAMES, self.hold_causes))
+        attribution["total"] = self.held_cycles
+        return attribution
 
     def occupancy(self, task: int) -> float:
         """Fraction of all cycles spent running (or held in) *task*."""
@@ -91,6 +112,7 @@ class Counters:
             ecc_uncorrected=self.ecc_uncorrected - earlier.ecc_uncorrected,
             disk_retries=self.disk_retries - earlier.disk_retries,
             disk_remaps=self.disk_remaps - earlier.disk_remaps,
+            hold_causes=[a - b for a, b in zip(self.hold_causes, earlier.hold_causes)],
         )
 
     def copy(self) -> "Counters":

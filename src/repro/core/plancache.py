@@ -26,6 +26,17 @@ contents, RBASE/MEMBASE, the bypass latch -- is still read at execution
 time, which is what keeps the fast path observationally equivalent to
 the interpretive one (``tests/test_fastpath_parity.py`` proves it
 bit-identical, counters and cycle counts included).
+
+The compiled Hold flags (``hold_fastio``, ``hold_md``,
+``hold_nextmacro``) map one-to-one onto the processor's hold-cause
+codes (:data:`~repro.core.counters.HOLD_STORAGE` /
+:data:`~repro.core.counters.HOLD_MD` /
+:data:`~repro.core.counters.HOLD_IFU`), checked in the same priority
+order on both cycle paths, so hold-cause attribution is parity-safe.
+Instrumentation stays off this fast path entirely: the plan loop's only
+concession to observers is the one ``trace_hook is not None`` check it
+has always had, and the instrumentation bus compiles down to exactly
+that slot.
 """
 
 from __future__ import annotations

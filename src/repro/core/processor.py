@@ -34,6 +34,15 @@ Two implementations of the cycle coexist:
 ``config.plan_cache_enabled`` selects between them; they are
 bit-identical in architectural state, counters, and cycle counts, which
 ``tests/test_fastpath_parity.py`` enforces differentially.
+
+Observability hangs off one slot: both cycle implementations end with a
+single ``trace_hook is None`` check, and the instrumentation bus
+(:attr:`Processor.instruments`, DESIGN.md section 5.3) compiles any
+number of named subscribers -- tracers, profilers, fault listeners --
+into that hook, restoring ``None`` when the last one detaches.  Held
+cycles are attributed by cause (storage busy / MEMDATA wait / IFU wait)
+in :class:`~repro.core.counters.Counters.hold_causes`, identically on
+both paths.
 """
 
 from __future__ import annotations
@@ -48,7 +57,7 @@ from ..types import EMULATOR_TASK, word
 from . import functions
 from .alu import Alu
 from .console import Console
-from .counters import Counters
+from .counters import HOLD_IFU, HOLD_MD, HOLD_NONE, HOLD_STORAGE, Counters
 from .functions import FF
 from .microword import (
     ASel,
@@ -141,7 +150,14 @@ class Processor:
         self.this_pc = 0
         self.halted = False
         self.now = 0
+        # The raw per-cycle hook: (now, pc, inst, held).  None when nobody
+        # is listening -- both cycle implementations pay exactly one
+        # ``is None`` check.  Prefer the instrumentation bus
+        # (``self.instruments``) over assigning this slot directly: the
+        # bus compiles its subscriber set into this hook and composes
+        # with (chains) a directly-assigned one.
         self.trace_hook: Optional[Callable[[int, int, MicroInstruction, bool], None]] = None
+        self._instruments = None
         # Bypass latch, from the previous instruction: RM address -> value
         # for RM writes, T_KEY_BASE + task -> value for T writes.
         self._pending: Dict[int, int] = {}
@@ -216,6 +232,20 @@ class Processor:
         """The machine's fault injector, or None when injection is off."""
         return self.memory.injector
 
+    @property
+    def instruments(self):
+        """The machine's instrumentation bus (created on first use).
+
+        See :class:`repro.perf.instrument.InstrumentationBus`: named
+        subscribers, per-event-kind channels, and install/uninstall that
+        compiles down to ``trace_hook`` so an idle bus costs nothing.
+        """
+        if self._instruments is None:
+            from ..perf.instrument import InstrumentationBus
+
+            self._instruments = InstrumentationBus(self)
+        return self._instruments
+
     # ------------------------------------------------------------------
     # the machine cycle
     # ------------------------------------------------------------------
@@ -239,11 +269,13 @@ class Processor:
         if inst is None:
             raise MicrocodeCrash(f"task {task} fetched uninitialized microstore at {pc:#o}")
 
-        held = self._check_hold(inst, task)
+        hold_cause = self._check_hold(inst, task)
+        held = hold_cause != HOLD_NONE
         if held:
             self._consecutive_holds += 1
             if self._consecutive_holds > (self._hold_limit or HOLD_LIMIT):
                 raise self._hold_timeout(task, pc)
+            self.counters.hold_causes[hold_cause - 1] += 1
             next_pc = pc  # "no operation, jump to self"
             blocked = False
             self._commit_pending()  # clocks keep running (section 5.7)
@@ -335,19 +367,23 @@ class Processor:
             plan = self._get_plan(pc, task)
         memory = self.memory
 
-        # --- Hold (section 5.7); mirrors _check_hold.
+        # --- Hold (section 5.7); mirrors _check_hold, cause included.
         held = False
         if not plan.hold_none:
             if plan.hold_fastio and memory.storage_busy:
                 held = True
+                hold_cause = HOLD_STORAGE
             elif plan.hold_md and not memory.md_ready(task):
                 held = True
+                hold_cause = HOLD_MD
             elif plan.hold_nextmacro and not self.ifu.dispatch_ready:
                 held = True
+                hold_cause = HOLD_IFU
         if held:
             self._consecutive_holds += 1
             if self._consecutive_holds > (self._hold_limit or HOLD_LIMIT):
                 raise self._hold_timeout(task, pc)
+            self.counters.hold_causes[hold_cause - 1] += 1
             next_pc = pc  # "no operation, jump to self"
             blocked = False
             if self._pending:
@@ -629,27 +665,28 @@ class Processor:
     # hold evaluation (section 5.7)
     # ------------------------------------------------------------------
 
-    def _check_hold(self, inst: MicroInstruction, task: int) -> bool:
+    def _check_hold(self, inst: MicroInstruction, task: int) -> int:
+        """The Hold decision: a HOLD_* cause code, HOLD_NONE to proceed."""
         ff = inst.ff
         ff_is_function = not inst.bsel.is_constant
 
         if inst.asel.starts_reference:
             if ff_is_function and ff in (FF.IOFETCH, FF.IOSTORE):
                 if self.memory.storage_busy:
-                    return True
+                    return HOLD_STORAGE
 
         uses_md = inst.asel.uses_memdata or (
             ff_is_function
             and ff in (FF.SHIFT_MASKMD, FF.EXTB_MEMDATA, FF.OUTPUT_MD, FF.A_MD)
         )
         if uses_md and not self.memory.md_ready(task):
-            return True
+            return HOLD_MD
 
         if NextControl.kind(inst.nc) == NextType.MISC:
             payload = NextControl.payload(inst.nc)
             if Misc(payload >> 3) == Misc.NEXTMACRO and not self.ifu.dispatch_ready:
-                return True
-        return False
+                return HOLD_IFU
+        return HOLD_NONE
 
     # ------------------------------------------------------------------
     # execution

@@ -83,6 +83,11 @@ class FaultInjector:
         self.ecc = EccFilter(self)
         self._clock: Callable[[], int] = lambda: 0
         self.on_uncorrectable: Optional[Callable[[], None]] = None
+        # Live publication of trace records: the instrumentation bus's
+        # ``fault`` channel attaches here, so observers see each
+        # FaultRecord the moment it is appended instead of polling
+        # ``trace`` after the run.  None costs one check per fault.
+        self.on_record: Optional[Callable[[FaultRecord], None]] = None
 
     def bind(
         self,
@@ -103,7 +108,10 @@ class FaultInjector:
         return len(self._storage_queue) + len(self._map_queue) + len(self._disk_queue)
 
     def record(self, component: str, kind: str, address: int = 0, detail: str = "") -> None:
-        self.trace.append(FaultRecord(self.now, component, kind, address, detail))
+        entry = FaultRecord(self.now, component, kind, address, detail)
+        self.trace.append(entry)
+        if self.on_record is not None:
+            self.on_record(entry)
 
     # --- memory pipeline -----------------------------------------------------
 

@@ -21,7 +21,7 @@ the IFU buffer there was equally unaware of stores).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import EmulatorError
 from ..types import word
@@ -50,6 +50,13 @@ class Ifu:
         self._head_operands: List[int] = []
         self._current_operands: List[int] = []  # IFUDATA for the executing macro
         self.dispatches = 0     # macroinstructions dispatched (for stats)
+        # First-class dispatch observation point: called as
+        # ``dispatch_hook(entry, address)`` after each take_dispatch,
+        # with the consumed DecodeEntry and its handler microaddress.
+        # None (one check per dispatch) when nobody listens.  Managed by
+        # the instrumentation bus so profilers never have to
+        # monkey-patch take_dispatch.
+        self.dispatch_hook: Optional[Callable[[DecodeEntry, int], None]] = None
 
     # --- configuration ---------------------------------------------------
 
@@ -152,7 +159,10 @@ class Ifu:
         self._head_operands = []
         self.dispatches += 1
         self._try_decode()  # decode of the successor overlaps execution
-        return self._dispatch_addresses[entry.dispatch]
+        address = self._dispatch_addresses[entry.dispatch]
+        if self.dispatch_hook is not None:
+            self.dispatch_hook(entry, address)
+        return address
 
     @property
     def operand_ready(self) -> bool:

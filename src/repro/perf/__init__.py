@@ -2,12 +2,21 @@
 
 :mod:`workloads` builds ready-to-run byte-code scenarios per emulator;
 :mod:`measure` profiles microinstructions/cycles per macroinstruction
-class; :mod:`report` regenerates every quantitative claim of the paper's
-section 7 (see EXPERIMENTS.md for the paper-vs-measured record).
+class; :mod:`instrument` is the instrumentation bus every observer
+attaches through (plus the structured metrics snapshot); :mod:`report`
+regenerates every quantitative claim of the paper's section 7 (see
+EXPERIMENTS.md for the paper-vs-measured record).
 """
 
+from .instrument import InstrumentationBus, metrics_snapshot
 from .measure import OpcodeProfiler
 from .tracing import PipelineTracer
 from .workloads import Workload
 
-__all__ = ["OpcodeProfiler", "PipelineTracer", "Workload"]
+__all__ = [
+    "InstrumentationBus",
+    "OpcodeProfiler",
+    "PipelineTracer",
+    "Workload",
+    "metrics_snapshot",
+]

@@ -8,6 +8,16 @@ PRODUCTION default), then writes ``BENCH_core.json`` with the
 cycles-per-second of each and the speedup.  The simulated cycle counts
 are asserted identical between the two runs, so the file doubles as a
 parity receipt.
+
+The benchmark runs with no instrumentation-bus subscribers attached, so
+it also pins the bus's zero-cost guarantee: an idle bus leaves
+``Processor.trace_hook`` as ``None`` and the plan-cache loop pays the
+same single check it paid before the bus existed.  ``--baseline`` reruns
+the bench and compares against a previously written BENCH_core.json:
+simulated cycle counts must match exactly, and each scenario's speedup
+must not have regressed below the baseline's by more than the tolerance
+(absolute cycles-per-second are host-specific, the speedup *ratio* is
+the portable number).
 """
 
 from __future__ import annotations
@@ -98,15 +108,58 @@ def run_corebench(repeats: int = 3) -> Dict[str, dict]:
     return results
 
 
-def main(argv=None) -> None:
+def compare_to_baseline(
+    results: Dict[str, dict], baseline: Dict[str, dict], tolerance: float = 0.35
+) -> List[str]:
+    """Differences that matter between a fresh run and a baseline file.
+
+    Returns human-readable problem strings (empty = clean): a missing
+    scenario, a simulated-cycle mismatch (a correctness change, never
+    acceptable), or a speedup below ``base * (1 - tolerance)`` (a perf
+    regression beyond timing noise).  Absolute cycles-per-second are
+    deliberately not compared -- they differ per host.
+    """
+    problems: List[str] = []
+    for name, base in baseline.items():
+        row = results.get(name)
+        if row is None:
+            problems.append(f"{name}: scenario missing from this run")
+            continue
+        if row["simulated_cycles"] != base["simulated_cycles"]:
+            problems.append(
+                f"{name}: simulated cycles changed "
+                f"({base['simulated_cycles']} -> {row['simulated_cycles']})"
+            )
+        floor = base["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            problems.append(
+                f"{name}: speedup regressed ({base['speedup']}x -> "
+                f"{row['speedup']}x, floor {floor:.2f}x)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_core.json",
                         help="where to write the JSON report")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing runs per scenario (best one wins)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="compare against a previous BENCH_core.json; "
+                             "exit nonzero on cycle mismatch or speedup regression")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="fractional speedup regression allowed vs --baseline")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
+    baseline = None
+    if args.baseline is not None:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)["workloads"]
+        except (OSError, KeyError, ValueError) as exc:
+            parser.error(f"cannot read baseline {args.baseline}: {exc}")
     try:
         output = open(args.output, "w")
     except OSError as exc:
@@ -133,7 +186,15 @@ def main(argv=None) -> None:
             f"{row['after_cycles_per_second']:>12}{row['speedup']:>8.2f}x"
         )
     print(f"wrote {args.output}")
+    if baseline is not None:
+        problems = compare_to_baseline(results, baseline, tolerance=args.tolerance)
+        if problems:
+            for p in problems:
+                print(f"BASELINE MISMATCH: {p}")
+            return 1
+        print(f"baseline {args.baseline}: OK")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

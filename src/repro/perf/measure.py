@@ -6,12 +6,20 @@ microinstructions in Mesa, and five in Lisp...").  The
 :class:`OpcodeProfiler` measures exactly that: it watches the IFU
 dispatch stream and attributes every executed (and held) task-0 cycle to
 the macroinstruction whose handler is running.
+
+The profiler is a subscriber on the machine's instrumentation bus
+(:class:`~repro.perf.instrument.InstrumentationBus`): it listens on the
+``dispatch`` channel (the IFU's first-class ``dispatch_hook`` -- no
+monkey-patching of ``take_dispatch``) and the ``cycle`` channel, so it
+composes with a :class:`~repro.perf.tracing.PipelineTracer` or any
+other subscriber in either attach order, and :meth:`uninstall` leaves
+the machine exactly as found.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ..emulators.isa import EmulatorContext
@@ -43,13 +51,17 @@ def measure_simulation_rate(
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
-    best: Optional[SimulationRate] = None
-    for _ in range(repeats):
+
+    def timed_run() -> SimulationRate:
         start = time.perf_counter()
         cycles = scenario()
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best.seconds:
-            best = SimulationRate(cycles=cycles, seconds=elapsed)
+        return SimulationRate(cycles=cycles, seconds=time.perf_counter() - start)
+
+    best = timed_run()
+    for _ in range(repeats - 1):
+        candidate = timed_run()
+        if candidate.seconds < best.seconds:
+            best = candidate
     return best
 
 
@@ -73,9 +85,10 @@ class OpcodeStats:
 class OpcodeProfiler:
     """Attribute task-0 execution to macroinstruction classes.
 
-    Attach before running; the emulator's trace hook and a wrapper on
-    the IFU dispatch mark the boundaries.  The microinstruction that
-    *performs* the NextMacro is charged to the instruction it finishes.
+    Constructing one attaches it (the historical behaviour benchmarks
+    rely on); :meth:`uninstall` detaches it and restores the bus and
+    IFU hook state exactly.  The microinstruction that *performs* the
+    NextMacro is charged to the instruction it finishes.
     """
 
     def __init__(self, ctx: EmulatorContext) -> None:
@@ -83,38 +96,46 @@ class OpcodeProfiler:
         self.stats: Dict[str, OpcodeStats] = {}
         self._current: Optional[str] = None
         self._pending_name: Optional[str] = None
-        self._install()
+        self._installed = False
+        self._name: Optional[str] = None
+        self.install()
 
-    def _install(self) -> None:
-        cpu = self.ctx.cpu
-        ifu = cpu.ifu
-        original_take = ifu.take_dispatch
-        profiler = self
+    def install(self) -> "OpcodeProfiler":
+        if not self._installed:
+            self._name = self.ctx.cpu.instruments.install(
+                cycle=self._on_cycle, dispatch=self._on_dispatch
+            )
+            self._installed = True
+        return self
 
-        def wrapped_take():
-            entry = ifu._head  # the instruction being dispatched
-            address = original_take()
-            profiler._pending_name = entry.name
-            return address
+    def uninstall(self) -> None:
+        if self._installed:
+            self.ctx.cpu.instruments.uninstall(self._name)
+            self._installed = False
+            self._name = None
 
-        ifu.take_dispatch = wrapped_take
+    # --- bus subscribers ----------------------------------------------------
 
-        def hook(now, pc, inst, held):
-            del now, pc, inst
-            name = profiler._current
-            if name is not None and cpu.pipe.this_task == EMULATOR_TASK:
-                stats = profiler.stats.setdefault(name, OpcodeStats())
-                stats.cycles += 1
-                if not held:
-                    stats.microinstructions += 1
-            if profiler._pending_name is not None and not held:
-                # The dispatch we saw during this cycle takes effect now.
-                nxt = profiler._pending_name
-                profiler._pending_name = None
-                profiler._current = nxt
-                profiler.stats.setdefault(nxt, OpcodeStats()).dispatches += 1
+    def _on_dispatch(self, now: int, entry, address: int) -> None:
+        del now, address
+        self._pending_name = entry.name
 
-        cpu.trace_hook = hook
+    def _on_cycle(self, now: int, task: int, pc: int, inst, held: bool) -> None:
+        del now, pc, inst
+        name = self._current
+        if name is not None and task == EMULATOR_TASK:
+            stats = self.stats.setdefault(name, OpcodeStats())
+            stats.cycles += 1
+            if not held:
+                stats.microinstructions += 1
+        if self._pending_name is not None and not held:
+            # The dispatch we saw during this cycle takes effect now.
+            nxt = self._pending_name
+            self._pending_name = None
+            self._current = nxt
+            self.stats.setdefault(nxt, OpcodeStats()).dispatches += 1
+
+    # --- results ------------------------------------------------------------
 
     def table(self) -> Dict[str, OpcodeStats]:
         return dict(self.stats)

@@ -23,7 +23,7 @@ from ..graphics.bitmap import Bitmap
 from ..io.disk import DISK_TASK, DiskController, DiskGeometry, disk_microcode
 from ..io.display import DISPLAY_TASK, DisplayController, display_fast_microcode
 from ..types import MUNCH_WORDS, WORD_BITS
-from .measure import OpcodeProfiler
+from .measure import OpcodeProfiler, OpcodeStats
 from .workloads import (
     bcpl_loop_sum,
     lisp_call_kernel,
@@ -576,6 +576,28 @@ ALL_EXPERIMENTS = {
     "E13 stitchweld vs multiwire": experiment_e13,
     "E14 fault injection (beyond paper)": experiment_fault_injection,
 }
+
+
+def format_opcode_costs(stats: Dict[str, OpcodeStats], title: str = "per-opcode-class costs") -> str:
+    """Render an :class:`OpcodeProfiler`'s table in section 7 style.
+
+    One row per macroinstruction class: dispatches, mean
+    microinstructions per dispatch, and mean cycles per dispatch
+    (cycles include Hold time, so cycles >= microinstructions).
+    Sorted by dispatch count so the workload's hot classes lead.
+    """
+    if not stats:
+        return f"{title}\n{'-' * len(title)}\n(no dispatches recorded)"
+    ordered = sorted(stats.items(), key=lambda kv: (-kv[1].dispatches, kv[0]))
+    width = max(len(name) for name, _ in ordered) + 2
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'class':<{width}}{'dispatches':>12}{'uinst/disp':>12}{'cycles/disp':>12}")
+    for name, s in ordered:
+        lines.append(
+            f"{name:<{width}}{s.dispatches:>12}"
+            f"{s.mean_microinstructions:>12.2f}{s.mean_cycles:>12.2f}"
+        )
+    return "\n".join(lines)
 
 
 def format_rows(title: str, rows: List[Row]) -> str:

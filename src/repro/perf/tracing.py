@@ -11,6 +11,14 @@ like::
 
 which makes Hold windows and task multiplexing visible at a glance.
 
+The tracer is one subscriber on the machine's instrumentation bus
+(:class:`~repro.perf.instrument.InstrumentationBus`): it composes with
+the :class:`~repro.perf.measure.OpcodeProfiler`, fault listeners, and
+any other subscriber in either attach order, and detaching it restores
+whatever was installed before.  The record store is a
+``collections.deque(maxlen=...)``, so a bounded window costs O(1) per
+cycle instead of a per-cycle memmove.
+
 Faulted runs (DESIGN.md section 5.2) leave a second kind of record: the
 :class:`~repro.fault.plan.FaultRecord` entries the injector appends to
 its trace.  :func:`format_fault_trace` renders those the same way the
@@ -20,11 +28,11 @@ went wrong and what the machine did about it.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..fault.plan import FaultRecord
-from ..types import NUM_TASKS
 
 
 @dataclass(frozen=True)
@@ -47,33 +55,24 @@ class PipelineTracer:
     def __init__(self, machine, max_records: int = 100_000) -> None:
         self.machine = machine
         self.max_records = max_records
-        self.records: List[TraceRecord] = []
-        self._previous_hook = None
+        self.records: Deque[TraceRecord] = deque(maxlen=max_records)
         self._installed = False
+        self._name: Optional[str] = None
 
     def install(self) -> "PipelineTracer":
-        if self._installed:
-            return self
-        self._previous_hook = self.machine.trace_hook
-        previous = self._previous_hook
-
-        def hook(now, pc, inst, held):
-            self.records.append(
-                TraceRecord(now, self.machine.pipe.this_task, pc, held)
-            )
-            if len(self.records) > self.max_records:
-                del self.records[: len(self.records) - self.max_records]
-            if previous is not None:
-                previous(now, pc, inst, held)
-
-        self.machine.trace_hook = hook
-        self._installed = True
+        if not self._installed:
+            self._name = self.machine.instruments.install(cycle=self._on_cycle)
+            self._installed = True
         return self
 
     def uninstall(self) -> None:
         if self._installed:
-            self.machine.trace_hook = self._previous_hook
+            self.machine.instruments.uninstall(self._name)
             self._installed = False
+            self._name = None
+
+    def _on_cycle(self, now: int, task: int, pc: int, inst, held: bool) -> None:
+        self.records.append(TraceRecord(now, task, pc, held))
 
     # --- analysis ----------------------------------------------------------
 
@@ -93,13 +92,22 @@ class PipelineTracer:
                 counts[r.task] = counts.get(r.task, 0) + 1
         return counts
 
-    def hold_windows(self, task: int) -> List[tuple]:
-        """Contiguous held spans for *task*: (start_cycle, length)."""
-        windows = []
+    def hold_windows(self, task: int) -> List[Tuple[int, int]]:
+        """Contiguous held spans for *task*: (start_cycle, length).
+
+        A span is a run of consecutive *task* records that are held.
+        Records from other tasks are ignored entirely -- a multiplexed
+        machine interleaves other tasks' cycles inside a hold window
+        (that overlap is the whole point of Hold, section 5.7), and
+        such interleaving must not split the window.
+        """
+        windows: List[Tuple[int, int]] = []
         start: Optional[int] = None
         length = 0
         for r in self.records:
-            if r.task == task and r.held:
+            if r.task != task:
+                continue
+            if r.held:
                 if start is None:
                     start = r.cycle
                     length = 1
