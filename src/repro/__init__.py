@@ -49,8 +49,10 @@ from .errors import (
     HoldTimeout,
     MicrocodeCrash,
     PlacementError,
+    StateError,
 )
 from .fault import FaultConfig, InjectionPlan
+from .state import MachineState, diff_states
 
 __version__ = "1.0.0"
 
@@ -72,6 +74,7 @@ __all__ = [
     "InjectionPlan",
     "LoadControl",
     "MachineConfig",
+    "MachineState",
     "MicroInstruction",
     "MicrocodeCrash",
     "MODEL0",
@@ -80,5 +83,7 @@ __all__ = [
     "PRODUCTION",
     "Processor",
     "STITCHWELD",
+    "StateError",
     "__version__",
+    "diff_states",
 ]

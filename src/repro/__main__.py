@@ -54,18 +54,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-cycles", type=int, default=5_000_000,
         help="simulated-cycle budget for the workload",
     )
+    parser.add_argument(
+        "--save-state", default=None, metavar="PATH",
+        help="write the machine's snapshot (canonical JSON) after the run",
+    )
+    parser.add_argument(
+        "--load-state", default=None, metavar="PATH",
+        help="restore a snapshot into the workload's machine before running",
+    )
     args = parser.parse_args(argv)
 
     wants_instruments = args.trace or args.profile or args.metrics_json is not None
+    wants_state = args.save_state is not None or args.load_state is not None
     if args.workload is None:
-        if wants_instruments:
-            parser.error("--trace/--profile/--metrics-json need --workload")
+        if wants_instruments or wants_state:
+            parser.error(
+                "--trace/--profile/--metrics-json/--save-state/--load-state "
+                "need --workload"
+            )
         from .perf.report import main as report_main
         report_main()
         return 0
 
     workload = ALL_WORKLOADS[args.workload]()
     cpu = workload.ctx.cpu
+    if args.load_state is not None:
+        from .state import MachineState
+
+        cpu.restore(MachineState.load(args.load_state))
+        print(f"restored {args.load_state} (cycle {cpu.now})")
     tracer = profiler = None
     if args.trace:
         tracer = PipelineTracer(cpu).install()
@@ -74,6 +91,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     cycles = workload.run(max_cycles=args.max_cycles)
     print(f"{workload.name}: {cycles} cycles, verified")
+
+    if args.save_state is not None:
+        cpu.snapshot().save(args.save_state)
+        print(f"saved {args.save_state} (cycle {cpu.now})")
 
     if tracer is not None:
         print()

@@ -292,3 +292,13 @@ class Alu:
     def run(self, aluop: int, a: int, b: int, saved_carry: bool) -> AluResult:
         """Execute the operation named by ALUOp on operands A and B."""
         return compute(self.control(aluop), a, b, saved_carry)
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        """The ALUFM map as its 6-bit encodings; ``fast_ops`` is derived."""
+        return {"alufm": [c.encode() for c in self._alufm]}
+
+    def load_state(self, state: dict) -> None:
+        self._alufm = [AluControl.decode(bits) for bits in state["alufm"]]
+        self.fast_ops = [_fast_op(c) for c in self._alufm]

@@ -86,3 +86,25 @@ class Console:
         values = list(self.trace)
         self.trace.clear()
         return values
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        """CPREG, both debug buffers, and the staged IM write latches.
+
+        ``on_im_write`` is a hook, not state; ``im_size`` is config.
+        """
+        return {
+            "cpreg": self.cpreg,
+            "trace": list(self.trace),
+            "notifications": list(self.notifications),
+            "im_address_latch": self._im_address_latch,
+            "im_partial": self._im_partial,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.cpreg = state["cpreg"]
+        self.trace = list(state["trace"])
+        self.notifications = list(state["notifications"])
+        self._im_address_latch = state["im_address_latch"]
+        self._im_partial = state["im_partial"]

@@ -8,7 +8,7 @@ derived from one :class:`Counters` instance attached to the processor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List
 
 from ..types import NUM_TASKS
@@ -115,8 +115,26 @@ class Counters:
             hold_causes=[a - b for a, b in zip(self.hold_causes, earlier.hold_causes)],
         )
 
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Every counter field as plain data, list fields copied."""
+        state: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            state[f.name] = list(value) if isinstance(value, list) else value
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        for f in fields(self):
+            value = state[f.name]
+            setattr(self, f.name, list(value) if isinstance(value, list) else value)
+
     def copy(self) -> "Counters":
-        return self.delta(Counters())
+        """Thin alias over the snapshot protocol."""
+        fresh = Counters()
+        fresh.load_state(self.state_dict())
+        return fresh
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers, for reports."""

@@ -140,6 +140,15 @@ class ControlSection:
             )
         raise EncodingError(f"unhandled MISC code {code!r}")
 
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        """Only LINK is state; the page arithmetic is config-derived."""
+        return {"link": list(self.link)}
+
+    def load_state(self, state: dict) -> None:
+        self.link = list(state["link"])
+
     def read_link(self, task: int) -> int:
         return self.link[task & 0xF]
 

@@ -47,6 +47,7 @@ both paths.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import MachineConfig, PRODUCTION
@@ -216,13 +217,23 @@ class Processor:
         device.attach(self)
 
     def boot(self, pc: int = 0, task: int = EMULATOR_TASK) -> None:
-        """Point a task at *pc* and make it the running task."""
+        """Point a task at *pc* and make it the running task.
+
+        Re-booting a machine that has already run must not leak the
+        previous program's in-flight state into the new one: the bypass
+        latch (a result the old program staged but never committed), the
+        Hold watchdog count, and the IFU's buffered prefetch bytes are
+        all cleared here.
+        """
         if isinstance(pc, str):
             pc = self.symbols[pc]
         self.pipe.write_tpc(task, pc)
         self.pipe.this_task = task
         self.this_pc = pc
         self.halted = False
+        self._pending.clear()
+        self._consecutive_holds = 0
+        self.ifu.flush_buffers()
 
     def address_of(self, label: str) -> int:
         return self.symbols[label]
@@ -245,6 +256,189 @@ class Processor:
 
             self._instruments = InstrumentationBus(self)
         return self._instruments
+
+    # ------------------------------------------------------------------
+    # snapshot / restore / fork (DESIGN.md section 5.4)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The core section's architectural state, as plain data.
+
+        Covers the processor proper: pipeline position, the bypass
+        latch, and every data/control-section component.  The IM, the
+        memory system, the IFU, and the devices have their own sections
+        in :meth:`snapshot` -- and the plan cache, hooks, and the
+        instrumentation bus are mechanism, deliberately absent.
+        """
+        return {
+            "this_pc": self.this_pc,
+            "halted": self.halted,
+            "now": self.now,
+            "pending": dict(self._pending),
+            "published_next": self._published_next,
+            "consecutive_holds": self._consecutive_holds,
+            "regs": self.regs.state_dict(),
+            "stack": self.stack.state_dict(),
+            "alu": self.alu.state_dict(),
+            "pipe": self.pipe.state_dict(),
+            "control": self.control.state_dict(),
+            "console": self.console.state_dict(),
+            "counters": self.counters.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.this_pc = state["this_pc"]
+        self.halted = bool(state["halted"])
+        self.now = state["now"]
+        self._pending = dict(state["pending"])
+        self._published_next = state["published_next"]
+        self._consecutive_holds = state["consecutive_holds"]
+        self.regs.load_state(state["regs"])
+        self.stack.load_state(state["stack"])
+        self.alu.load_state(state["alu"])
+        self.pipe.load_state(state["pipe"])
+        self.control.load_state(state["control"])
+        self.console.load_state(state["console"])
+        # In place: the Counters object is shared with the MemorySystem.
+        self.counters.load_state(state["counters"])
+
+    def _port_index(self, port) -> int:
+        """A fast-I/O port's serializable identity: its device index."""
+        for index, device in enumerate(self._devices):
+            if device is port:
+                return index
+        from ..errors import StateError
+
+        raise StateError(
+            "in-flight fast I/O targets a port that is not an attached "
+            "device; snapshot cannot name it"
+        )
+
+    def snapshot(self):
+        """Capture the complete machine as a :class:`~repro.state.MachineState`.
+
+        The snapshot is self-contained plain data -- safe to hold across
+        further stepping, serialize with ``save()``, or apply to another
+        machine built with an equal config.
+        """
+        from ..state import STATE_FORMAT_VERSION, MachineState, config_signature
+
+        data = {
+            "version": STATE_FORMAT_VERSION,
+            "config": config_signature(self.config),
+            "im": {
+                address: inst.encode()
+                for address, inst in enumerate(self.im)
+                if inst is not None
+            },
+            "core": self.state_dict(),
+            "mem": self.memory.state_dict(port_index=self._port_index),
+            "ifu": self.ifu.state_dict(),
+            "io": [device.state_dict() for device in self._devices],
+            "fault": (
+                self.memory.injector.state_dict()
+                if self.memory.injector is not None
+                else None
+            ),
+        }
+        return MachineState(data)
+
+    def restore(self, state) -> None:
+        """Apply a snapshot taken on this machine or an identical twin.
+
+        Raises :class:`~repro.errors.StateError` when the snapshot's
+        version, config signature, device roster, or fault plan does not
+        match this machine.  IM slots whose stored encoding equals the
+        current word are left untouched, so a warm restore keeps its
+        compiled plans.
+        """
+        from ..errors import StateError
+        from ..state import STATE_FORMAT_VERSION, MachineState, config_signature
+
+        data = state.data if isinstance(state, MachineState) else state
+        if data["version"] != STATE_FORMAT_VERSION:
+            raise StateError(
+                f"snapshot format v{data['version']} != "
+                f"supported v{STATE_FORMAT_VERSION}"
+            )
+        if data["config"] != config_signature(self.config):
+            raise StateError(
+                "snapshot was taken on a machine with a different config"
+            )
+        if len(data["io"]) != len(self._devices):
+            raise StateError(
+                f"snapshot has {len(data['io'])} devices; "
+                f"this machine has {len(self._devices)}"
+            )
+        injector = self.memory.injector
+        if (data["fault"] is not None) != (injector is not None):
+            raise StateError(
+                "snapshot and machine disagree about fault injection"
+            )
+
+        stored_im = data["im"]
+        for address in range(self.config.im_size):
+            stored = stored_im.get(address)
+            cur = self.im[address]
+            cur_enc = cur.encode() if cur is not None else None
+            if stored != cur_enc:
+                self.im[address] = (
+                    MicroInstruction.decode(stored) if stored is not None else None
+                )
+
+        self.load_state(data["core"])
+        self.memory.load_state(data["mem"], port_of=lambda i: self._devices[i])
+        self.ifu.load_state(data["ifu"])
+        for device, device_state in zip(self._devices, data["io"]):
+            device.load_state(device_state)
+        if injector is not None:
+            injector.load_state(data["fault"])
+
+    def fork(self) -> "Processor":
+        """A fully independent copy of this machine, mid-run.
+
+        The clone shares nothing mutable with the original: it gets its
+        own registers, memory, devices, and fault cursors, built from a
+        :meth:`snapshot` and deep copies of the device models.  Stepping
+        either machine cannot perturb the other.
+        """
+        snap = self.snapshot()
+        clone = Processor(self.config)
+        clone.symbols = dict(self.symbols)
+        # MicroInstruction objects are immutable; sharing the words is
+        # safe, and restore() will not need to re-decode any of them.
+        for address, inst in enumerate(self.im):
+            if inst is not None:
+                clone.im[address] = inst
+        if self.ifu.table is not None:
+            clone.ifu.load_table(self.ifu.table, self.ifu._dispatch_addresses)
+        for device in self._devices:
+            clone.attach_device(self._clone_device(device))
+        clone.restore(snap)
+        return clone
+
+    @staticmethod
+    def _clone_device(device):
+        """Deep-copy a device model without dragging the machine along.
+
+        Devices hold back-references to the processor (``machine``) and,
+        when faulted, to the shared injector; both are detached for the
+        copy and re-established by ``attach_device`` / restore.
+        """
+        machine = getattr(device, "machine", None)
+        injector = getattr(device, "_injector", None)
+        try:
+            if machine is not None:
+                device.machine = None
+            if injector is not None:
+                device._injector = None
+            clone = copy.deepcopy(device)
+        finally:
+            if machine is not None:
+                device.machine = machine
+            if injector is not None:
+                device._injector = injector
+        return clone
 
     # ------------------------------------------------------------------
     # the machine cycle

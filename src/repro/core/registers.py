@@ -104,3 +104,30 @@ class RegisterFile:
 
     def write_membase(self, task: int, value: int) -> None:
         self.membase[task & 0xF] = value & 0x1F
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        """Every data-section register, as plain data (no aliasing)."""
+        return {
+            "rm": list(self.rm),
+            "t": list(self.t),
+            "ioaddress": list(self.ioaddress),
+            "saved_carry": list(self.saved_carry),
+            "rbase": list(self.rbase),
+            "membase": list(self.membase),
+            "count": self.count,
+            "q": self.q,
+            "shiftctl": self.shiftctl,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.rm = list(state["rm"])
+        self.t = list(state["t"])
+        self.ioaddress = list(state["ioaddress"])
+        self.saved_carry = [bool(v) for v in state["saved_carry"]]
+        self.rbase = list(state["rbase"])
+        self.membase = list(state["membase"])
+        self.count = state["count"]
+        self.q = state["q"]
+        self.shiftctl = state["shiftctl"]

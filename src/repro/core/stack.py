@@ -103,3 +103,19 @@ class StackUnit:
     def depth(self) -> int:
         """Words on the current stack (its word index)."""
         return self.word_index
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "memory": list(self.memory),
+            "pointer": self.pointer,
+            "overflow": list(self.overflow),
+            "underflow": list(self.underflow),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.memory = list(state["memory"])
+        self.pointer = state["pointer"]
+        self.overflow = [bool(v) for v in state["overflow"]]
+        self.underflow = [bool(v) for v in state["underflow"]]

@@ -113,3 +113,23 @@ class TaskPipeline:
     def snapshot(self) -> Tuple[int, int, int]:
         """(lines, ready, best_task) -- for tests and the console."""
         return (self.lines, self.ready, self.best_task)
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "lines": self.lines,
+            "ready": self.ready,
+            "tpc": list(self.tpc),
+            "best_task": self.best_task,
+            "best_pc": self.best_pc,
+            "this_task": self.this_task,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.lines = state["lines"]
+        self.ready = state["ready"]
+        self.tpc = list(state["tpc"])
+        self.best_task = state["best_task"]
+        self.best_pc = state["best_pc"]
+        self.this_task = state["this_task"]

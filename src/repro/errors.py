@@ -76,6 +76,16 @@ class HoldTimeout(MicrocodeCrash):
         )
 
 
+class StateError(DoradoError):
+    """A machine snapshot cannot be captured, restored, or decoded.
+
+    Raised for version/config mismatches between a
+    :class:`~repro.state.MachineState` and the machine it is applied
+    to, for malformed serialized state, and for snapshots that cannot
+    be taken (e.g. in-flight fast I/O with no device mapping).
+    """
+
+
 class DeviceError(DoradoError):
     """An I/O device model was used inconsistently."""
 

@@ -113,6 +113,40 @@ class FaultInjector:
         if self.on_record is not None:
             self.on_record(entry)
 
+    # --- snapshot protocol (DESIGN.md section 5.4) ---------------------------
+
+    _QUEUES = (
+        ("storage", "_storage_queue"),
+        ("map", "_map_queue"),
+        ("disk", "_disk_queue"),
+    )
+
+    def state_dict(self) -> dict:
+        """Per-component consumed-event cursors plus the fault trace.
+
+        The plan itself is pure data derived from the config seed, so
+        only how far each queue has drained is state; ``load_state``
+        re-slices the plan's schedules.  The clock binding and the
+        record/uncorrectable hooks are wiring, not state.
+        """
+        consumed = {
+            component: len(self.plan.schedule(component)) - len(getattr(self, attr))
+            for component, attr in self._QUEUES
+        }
+        return {
+            "consumed": consumed,
+            "trace": [
+                [r.cycle, r.component, r.kind, r.address, r.detail]
+                for r in self.trace
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        for component, attr in self._QUEUES:
+            schedule = self.plan.schedule(component)
+            setattr(self, attr, deque(schedule[state["consumed"][component]:]))
+        self.trace = [FaultRecord(*row) for row in state["trace"]]
+
     # --- memory pipeline -----------------------------------------------------
 
     def memory_fault_due(self, write: bool, address: int = 0) -> Optional[FaultKind]:

@@ -93,6 +93,19 @@ class Ifu:
         self._head_operands = []
         self._current_operands = []
 
+    def flush_buffers(self) -> None:
+        """Forget all prefetch progress: buffered prefix, head, operands.
+
+        Like :meth:`jump` at the current PC, but also drops any pending
+        IFUDATA -- the reset path :meth:`Processor.boot` uses so a
+        re-booted machine carries no residue from a prior run.
+        """
+        self._buffered = self.pc
+        self._head = None
+        self._head_invalid = False
+        self._head_operands = []
+        self._current_operands = []
+
     # --- clock ------------------------------------------------------------
 
     def tick(self) -> None:
@@ -178,3 +191,48 @@ class Ifu:
         """Advance past the current operand (called on instruction commit)."""
         if self._current_operands:
             self._current_operands.pop(0)
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        """Stream position, buffer fill, and the decoded head.
+
+        The decode table, dispatch addresses, and dispatch hook are
+        mechanism, not state; the head :class:`DecodeEntry` is named by
+        its opcode byte (the byte at PC) and re-decoded through the
+        installed table on load.
+        """
+        head_opcode = self._byte(self.pc) if self._head is not None else None
+        return {
+            "now": self.now,
+            "running": self.running,
+            "pc": self.pc,
+            "buffered": self._buffered,
+            "ready_at": self._ready_at,
+            "head_opcode": head_opcode,
+            "head_invalid": self._head_invalid,
+            "head_operands": list(self._head_operands),
+            "current_operands": list(self._current_operands),
+            "dispatches": self.dispatches,
+        }
+
+    def load_state(self, state: dict) -> None:
+        head_opcode = state["head_opcode"]
+        if head_opcode is not None and self.table is None:
+            from ..errors import StateError
+            raise StateError(
+                "IFU snapshot carries a decoded head but no decode table "
+                "is loaded on this machine"
+            )
+        self.now = state["now"]
+        self.running = bool(state["running"])
+        self.pc = state["pc"]
+        self._buffered = state["buffered"]
+        self._ready_at = state["ready_at"]
+        self._head = (
+            self.table.entry(head_opcode) if head_opcode is not None else None
+        )
+        self._head_invalid = bool(state["head_invalid"])
+        self._head_operands = list(state["head_operands"])
+        self._current_operands = list(state["current_operands"])
+        self.dispatches = state["dispatches"]

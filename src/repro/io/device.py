@@ -119,6 +119,28 @@ class Device:
         if not self._pending_raises:
             self.machine.pipe.clear_wakeup(self.task)
 
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        """Wakeup-protocol state common to every controller.
+
+        Subclasses extend this dict with their own FIFOs and timers.
+        Construction parameters (name, task, bus address) and the
+        ``machine`` back-pointer are wiring, not state; the pending
+        raise timestamps are absolute cycle numbers, consistent because
+        the machine clock is restored alongside.
+        """
+        return {
+            "attention": self.attention,
+            "pending_raises": list(self._pending_raises),
+            "was_granted": self._was_granted,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.attention = bool(state["attention"])
+        self._pending_raises = list(state["pending_raises"])
+        self._was_granted = bool(state["was_granted"])
+
     # --- slow I/O registers -------------------------------------------------------
 
     def read_register(self, offset: int) -> int:
@@ -175,3 +197,18 @@ class LoopbackDevice(Device):
 
     def fast_supply(self, address: int) -> List[int]:
         return list(self.munches.get(address, [0] * MUNCH_WORDS))
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["fifo"] = list(self.fifo)
+        state["munches"] = {
+            address: list(words) for address, words in self.munches.items()
+        }
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.fifo = list(state["fifo"])
+        self.munches = {
+            address: list(words) for address, words in state["munches"].items()
+        }

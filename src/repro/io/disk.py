@@ -94,6 +94,47 @@ class DiskController(Device):
         super().attach(machine)
         self._injector = machine.memory.injector
 
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            surface=[list(sector) for sector in self.surface],
+            mode=self.mode,
+            sector=self.sector,
+            word_index=self.word_index,
+            requested_words=self.requested_words,
+            fifo=list(self.fifo),
+            done=self.done,
+            hard_error=self.hard_error,
+            remap=dict(self.remap),
+            next_spare=self._next_spare,
+            timer=self._timer,
+            done_wakeup_sent=self._done_wakeup_sent,
+            fail_remaining=self._fail_remaining,
+            error_attempts=self._error_attempts,
+            unclaimed=getattr(self, "_unclaimed", 0),
+        )
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.surface = [list(sector) for sector in state["surface"]]
+        self.mode = state["mode"]
+        self.sector = state["sector"]
+        self.word_index = state["word_index"]
+        self.requested_words = state["requested_words"]
+        self.fifo = list(state["fifo"])
+        self.done = bool(state["done"])
+        self.hard_error = bool(state["hard_error"])
+        self.remap = dict(state["remap"])
+        self._next_spare = state["next_spare"]
+        self._timer = state["timer"]
+        self._done_wakeup_sent = bool(state["done_wakeup_sent"])
+        self._fail_remaining = state["fail_remaining"]
+        self._error_attempts = state["error_attempts"]
+        self._unclaimed = state["unclaimed"]
+
     # --- host-side surface access ------------------------------------------
 
     def _physical(self, sector: int) -> int:

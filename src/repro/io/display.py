@@ -69,6 +69,39 @@ class DisplayController(Device):
         self.done = False
         self._timer = 0
 
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            cursor_x=self.cursor_x,
+            cursor_y=self.cursor_y,
+            fifo=list(self.fifo),
+            pixels_consumed=self.pixels_consumed,
+            underruns=self.underruns,
+            munches_outstanding=self.munches_outstanding,
+            munches_to_request=self.munches_to_request,
+            active=self.active,
+            done=self.done,
+            timer=self._timer,
+            beam_on=getattr(self, "_beam_on", False),
+        )
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.cursor_x = state["cursor_x"]
+        self.cursor_y = state["cursor_y"]
+        self.fifo = list(state["fifo"])
+        self.pixels_consumed = state["pixels_consumed"]
+        self.underruns = state["underruns"]
+        self.munches_outstanding = state["munches_outstanding"]
+        self.munches_to_request = state["munches_to_request"]
+        self.active = bool(state["active"])
+        self.done = bool(state["done"])
+        self._timer = state["timer"]
+        self._beam_on = bool(state["beam_on"])
+
     # --- host-side control -----------------------------------------------------
 
     def begin_band(self, machine, bitmap_va: int, munches: int, entry: str = None) -> None:

@@ -38,6 +38,17 @@ class KeyboardDevice(Device):
         for ch in text:
             self.press(ord(ch))
 
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["queue"] = list(self.queue)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.queue = list(state["queue"])
+
     # --- bus ------------------------------------------------------------------
 
     def read_register(self, offset: int) -> int:

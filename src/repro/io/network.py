@@ -56,6 +56,43 @@ class NetworkController(Device):
         self._timer = 0
         self._done_wakeup_sent = False
 
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            rx_queue=[list(packet) for packet in self.rx_queue],
+            rx_current=list(self.rx_current),
+            fifo=list(self.fifo),
+            tx_words=list(self.tx_words),
+            tx_expected=self.tx_expected,
+            tx_requested=self.tx_requested,
+            rx_remaining=self.rx_remaining,
+            mode=self.mode,
+            packets_received=self.packets_received,
+            done=self.done,
+            timer=self._timer,
+            done_wakeup_sent=self._done_wakeup_sent,
+            unclaimed=getattr(self, "_unclaimed", 0),
+        )
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.rx_queue = [list(packet) for packet in state["rx_queue"]]
+        self.rx_current = list(state["rx_current"])
+        self.fifo = list(state["fifo"])
+        self.tx_words = list(state["tx_words"])
+        self.tx_expected = state["tx_expected"]
+        self.tx_requested = state["tx_requested"]
+        self.rx_remaining = state["rx_remaining"]
+        self.mode = state["mode"]
+        self.packets_received = state["packets_received"]
+        self.done = bool(state["done"])
+        self._timer = state["timer"]
+        self._done_wakeup_sent = bool(state["done_wakeup_sent"])
+        self._unclaimed = state["unclaimed"]
+
     # --- host-side wire ---------------------------------------------------
 
     def inject_packet(self, words: List[int]) -> None:

@@ -58,6 +58,23 @@ class TimerDevice(Device):
     def read_register(self, offset: int) -> int:
         return self.ticks_raised & 0xFFFF
 
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            enabled=self.enabled,
+            ticks_raised=self.ticks_raised,
+            timer=self._timer,
+        )
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.enabled = bool(state["enabled"])
+        self.ticks_raised = state["ticks_raised"]
+        self._timer = state["timer"]
+
 
 def timer_microcode(asm: Assembler) -> None:
     """One tick: 32-bit increment of [ptr] (low) and [ptr+1] (high).

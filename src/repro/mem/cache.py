@@ -125,3 +125,46 @@ class Cache:
         valid = sum(line.valid for s in self.sets for line in s)
         dirty = sum(line.dirty for s in self.sets for line in s)
         return valid, dirty
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        """Every line (data, tags, flags) plus the LRU clock."""
+        return {
+            "clock": self._clock,
+            "sets": [
+                [
+                    {
+                        "valid": line.valid,
+                        "dirty": line.dirty,
+                        "tag": line.tag,
+                        "words": list(line.words),
+                        "lru": line.lru,
+                    }
+                    for line in cache_set
+                ]
+                for cache_set in self.sets
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        stored = state["sets"]
+        if len(stored) != self.num_sets or any(len(s) != self.ways for s in stored):
+            raise ConfigError(
+                f"cache snapshot geometry does not match "
+                f"{self.num_sets} sets x {self.ways} ways"
+            )
+        self._clock = state["clock"]
+        self.sets = [
+            [
+                CacheLine(
+                    valid=bool(d["valid"]),
+                    dirty=bool(d["dirty"]),
+                    tag=d["tag"],
+                    words=list(d["words"]),
+                    lru=d["lru"],
+                )
+                for d in cache_set
+            ]
+            for cache_set in stored
+        ]

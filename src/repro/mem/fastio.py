@@ -13,7 +13,7 @@ storage cycle, which is what yields the 530 Mbit/s figure (16 words x
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol
+from typing import Callable, List, Protocol
 
 
 class FastPort(Protocol):
@@ -37,3 +37,25 @@ class FastTransfer:
 
     def deliver(self) -> None:
         self.port.fast_deliver(self.address, self.words)
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self, port_index: Callable[[FastPort], int]) -> dict:
+        """Plain data; the port is named by its machine device index."""
+        return {
+            "complete_at": self.complete_at,
+            "port": port_index(self.port),
+            "address": self.address,
+            "words": list(self.words),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, port_of: Callable[[int], FastPort]
+    ) -> "FastTransfer":
+        return cls(
+            complete_at=state["complete_at"],
+            port=port_of(state["port"]),
+            address=state["address"],
+            words=list(state["words"]),
+        )

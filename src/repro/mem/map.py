@@ -134,6 +134,45 @@ class AddressTranslator:
             entry.dirty = True
         return (entry.real_page << PAGE_SHIFT) | (va & (PAGE_WORDS - 1))
 
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        """Base registers, the map, and the one-shot armed fault."""
+        inject = self.inject_next
+        return {
+            "bases": list(self.bases),
+            "map": {
+                page: [
+                    entry.real_page,
+                    entry.valid,
+                    entry.write_protected,
+                    entry.dirty,
+                    entry.referenced,
+                ]
+                for page, entry in self.map.items()
+            },
+            "inject_next": inject.value if inject is not None else None,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.bases = list(state["bases"])
+        self.map = {
+            page: MapEntry(
+                real_page=fields[0],
+                valid=bool(fields[1]),
+                write_protected=bool(fields[2]),
+                dirty=bool(fields[3]),
+                referenced=bool(fields[4]),
+            )
+            for page, fields in state["map"].items()
+        }
+        inject = state["inject_next"]
+        if inject is None:
+            self.inject_next = None
+        else:
+            from ..fault.plan import FaultKind
+            self.inject_next = FaultKind(inject)
+
     def identity_map(self, pages: int, write_protected_pages: int = 0) -> None:
         """Map virtual pages 0..pages-1 straight through (setup helper)."""
         for page in range(pages):

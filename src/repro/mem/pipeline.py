@@ -55,6 +55,20 @@ class _TaskRef:
     md_value: int = 0
     md_valid: bool = False
 
+    def state_dict(self) -> dict:
+        return {
+            "busy_until": self.busy_until,
+            "md_ready_at": self.md_ready_at,
+            "md_value": self.md_value,
+            "md_valid": self.md_valid,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.busy_until = state["busy_until"]
+        self.md_ready_at = state["md_ready_at"]
+        self.md_value = state["md_value"]
+        self.md_valid = bool(state["md_valid"])
+
 
 class MemorySystem:
     """Cache + map + storage behind the Hold-based interface."""
@@ -257,9 +271,63 @@ class MemorySystem:
         return self._refs[task].md_value
 
     def ref_state(self, task: int) -> tuple:
-        """(md_valid, md_ready_at, storage_busy_until) for diagnostics."""
-        ref = self._refs[task]
-        return ref.md_valid, ref.md_ready_at, self._storage_busy_until
+        """(md_valid, md_ready_at, storage_busy_until) for diagnostics.
+
+        Thin alias over the snapshot protocol: the same facts, drawn
+        from :meth:`_TaskRef.state_dict`, in the historical tuple shape.
+        """
+        ref = self._refs[task].state_dict()
+        return ref["md_valid"], ref["md_ready_at"], self._storage_busy_until
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self, port_index=None) -> dict:
+        """Pipeline timing state plus the translator/cache/storage images.
+
+        In-flight fast transfers hold references to device ports, which
+        plain data cannot carry; *port_index* maps a port object to its
+        machine device index (:meth:`Processor.snapshot` supplies it).
+        The counters are owned by the processor and the injector is
+        captured separately, so neither appears here; ``on_fault`` is a
+        hook, not state.
+        """
+        if self._fast_in_flight and port_index is None:
+            from ..errors import StateError
+            raise StateError(
+                "fast I/O transfers are in flight; snapshotting them "
+                "requires a port_index mapping"
+            )
+        return {
+            "now": self.now,
+            "fault_flags": self.fault_flags,
+            "storage_busy_until": self._storage_busy_until,
+            "refs": [ref.state_dict() for ref in self._refs],
+            "fast_in_flight": [
+                t.state_dict(port_index) for t in self._fast_in_flight
+            ],
+            "translator": self.translator.state_dict(),
+            "cache": self.cache.state_dict(),
+            "storage": self.storage.state_dict(),
+        }
+
+    def load_state(self, state: dict, port_of=None) -> None:
+        if state["fast_in_flight"] and port_of is None:
+            from ..errors import StateError
+            raise StateError(
+                "snapshot carries in-flight fast I/O transfers; restoring "
+                "them requires a port_of mapping"
+            )
+        self.now = state["now"]
+        self.fault_flags = state["fault_flags"]
+        self._storage_busy_until = state["storage_busy_until"]
+        for ref, ref_state in zip(self._refs, state["refs"]):
+            ref.load_state(ref_state)
+        self._fast_in_flight = [
+            FastTransfer.from_state(t, port_of) for t in state["fast_in_flight"]
+        ]
+        self.translator.load_state(state["translator"])
+        self.cache.load_state(state["cache"])
+        self.storage.load_state(state["storage"])
 
     # --- fast I/O (section 5.8) ---------------------------------------------------
 

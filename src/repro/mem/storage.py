@@ -69,3 +69,18 @@ class Storage:
     def dump(self, address: int, count: int) -> List[int]:
         """Bulk image read (for tests and verification)."""
         return self._data[address : address + count]
+
+    # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
+
+    def state_dict(self) -> dict:
+        """The full RAM image; ``ecc`` is a hook, ``size`` is config."""
+        return {"data": list(self._data)}
+
+    def load_state(self, state: dict) -> None:
+        data = state["data"]
+        if len(data) != self.size:
+            raise ConfigError(
+                f"storage image of {len(data)} words does not fit a "
+                f"{self.size}-word array"
+            )
+        self._data = list(data)

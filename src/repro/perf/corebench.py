@@ -26,7 +26,8 @@ import argparse
 import json
 import platform
 import sys
-from typing import Callable, Dict
+import time
+from typing import Callable, Dict, List
 
 from ..config import INTERPRETED, PRODUCTION, MachineConfig
 from ..core.processor import Processor
@@ -108,6 +109,49 @@ def run_corebench(repeats: int = 3) -> Dict[str, dict]:
     return results
 
 
+def run_warmstart_bench(repeats: int = 3) -> dict:
+    """Reaching the E1 machine's end state: full run versus restore.
+
+    A "cold" start assembles the Mesa emulator microcode, builds the
+    machine, and simulates the workload to HALT; a "warm" start restores
+    a :class:`~repro.state.MachineState` checkpoint of that end state
+    into an existing machine, skipping the simulation entirely.  Every
+    cold repeat must simulate the identical cycle count, and the
+    restored machine must verify the workload's result -- the restore
+    path's correctness receipt.  Wall times are best-of-*repeats*; only
+    the cycle count is portable.
+    """
+    cold_best = float("inf")
+    cold_cycles = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        workload = mesa_loop_sum(200)
+        cycles = workload.run()
+        cold_best = min(cold_best, time.perf_counter() - t0)
+        if cold_cycles is not None and cycles != cold_cycles:
+            raise AssertionError(
+                f"cold runs disagree on the simulated cycle count "
+                f"({cold_cycles} != {cycles})"
+            )
+        cold_cycles = cycles
+    cpu = workload.ctx.cpu
+    end_state = cpu.snapshot()
+
+    warm_best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        cpu.restore(end_state)
+        warm_best = min(warm_best, time.perf_counter() - t0)
+    if not workload.verify():
+        raise AssertionError("restored machine failed workload verification")
+    return {
+        "simulated_cycles": cold_cycles,
+        "cold_seconds": round(cold_best, 6),
+        "warm_restore_seconds": round(warm_best, 6),
+        "warm_speedup": round(cold_best / warm_best, 2),
+    }
+
+
 def compare_to_baseline(
     results: Dict[str, dict], baseline: Dict[str, dict], tolerance: float = 0.35
 ) -> List[str]:
@@ -153,11 +197,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
-    baseline = None
+    baseline = baseline_warm = None
     if args.baseline is not None:
         try:
             with open(args.baseline) as f:
-                baseline = json.load(f)["workloads"]
+                doc = json.load(f)
+            baseline = doc["workloads"]
+            baseline_warm = doc.get("warm_start")
         except (OSError, KeyError, ValueError) as exc:
             parser.error(f"cannot read baseline {args.baseline}: {exc}")
     try:
@@ -166,6 +212,7 @@ def main(argv=None) -> int:
         parser.error(f"cannot write {args.output}: {exc}")
 
     results = run_corebench(repeats=args.repeats)
+    warm = run_warmstart_bench(repeats=args.repeats)
     report = {
         "benchmark": "core simulator cycle rate, plan cache off vs on",
         "host": {
@@ -173,6 +220,7 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
         },
         "workloads": results,
+        "warm_start": warm,
     }
     with output as f:
         json.dump(report, f, indent=2)
@@ -185,9 +233,22 @@ def main(argv=None) -> int:
             f"{name:<{width}}{row['before_cycles_per_second']:>12}"
             f"{row['after_cycles_per_second']:>12}{row['speedup']:>8.2f}x"
         )
+    print(
+        f"warm start: cold build+run {warm['cold_seconds']*1e3:.1f} ms, "
+        f"restore {warm['warm_restore_seconds']*1e3:.1f} ms "
+        f"({warm['warm_speedup']:.2f}x)"
+    )
     print(f"wrote {args.output}")
     if baseline is not None:
         problems = compare_to_baseline(results, baseline, tolerance=args.tolerance)
+        if baseline_warm is not None and (
+            warm["simulated_cycles"] != baseline_warm["simulated_cycles"]
+        ):
+            problems.append(
+                f"warm_start: simulated cycles changed "
+                f"({baseline_warm['simulated_cycles']} -> "
+                f"{warm['simulated_cycles']})"
+            )
         if problems:
             for p in problems:
                 print(f"BASELINE MISMATCH: {p}")

@@ -326,6 +326,31 @@ def test_cli_rejects_observers_without_workload(capsys):
     assert "--workload" in capsys.readouterr().err
 
 
+def test_cli_saves_and_loads_machine_state(tmp_path, capsys):
+    from repro.__main__ import main
+
+    state = tmp_path / "machine.json"
+    rc = main(["--workload", "mesa_loop_sum", "--save-state", str(state)])
+    assert rc == 0
+    assert "saved" in capsys.readouterr().out
+    assert state.exists()
+
+    # Reload the finished machine: it verifies again without re-running.
+    rc = main(["--workload", "mesa_loop_sum", "--load-state", str(state)])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "restored" in printed
+    assert "0 cycles, verified" in printed
+
+
+def test_cli_rejects_state_flags_without_workload(capsys):
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--save-state", "x.json"])
+    assert "--workload" in capsys.readouterr().err
+
+
 # --------------------------------------------------------------------------
 # corebench: the zero-subscriber pin and baseline comparison
 # --------------------------------------------------------------------------
@@ -347,6 +372,9 @@ def test_corebench_cli_writes_report_and_checks_baseline(tmp_path, capsys):
     assert set(report["workloads"]) == {
         "E1_mesa_loop_sum", "E2_bitblt_copy", "E4_display_fast_io",
     }
+    warm = report["warm_start"]
+    assert warm["simulated_cycles"] > 0
+    assert warm["warm_restore_seconds"] > 0
     # A rerun compared against its own fresh output must pass: cycles are
     # deterministic and the speedup floor tolerates timing noise.
     again = tmp_path / "bench2.json"

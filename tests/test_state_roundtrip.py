@@ -1,0 +1,273 @@
+"""The machine-wide snapshot/restore/fork protocol (DESIGN.md section 5.4).
+
+The contract under test: a :class:`~repro.state.MachineState` captures
+*all* architectural state and *only* architectural state.  Restoring a
+snapshot and re-running must reproduce the original execution
+byte-for-byte -- on both cycle implementations, with and without fault
+injection, with devices and fast I/O in flight -- and a forked machine
+must be completely independent of its parent.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Assembler,
+    MachineState,
+    Processor,
+    StateError,
+    diff_states,
+)
+from repro.config import PRODUCTION
+from repro.fault import FaultConfig
+from repro.io.display import DisplayController, display_fast_microcode
+from repro.perf.workloads import ALL_WORKLOADS, mesa_loop_sum
+from repro.state import STATE_FORMAT_VERSION
+from repro.types import MUNCH_WORDS
+
+FAULTS = FaultConfig(seed=7, storage_correctable=5, map_faults=2, last_cycle=3000)
+
+#: The four machine variants every round-trip property must hold on:
+#: both cycle implementations, each clean and fault-injected.
+CONFIGS = {
+    "plan": PRODUCTION,
+    "interp": dataclasses.replace(PRODUCTION, plan_cache_enabled=False),
+    "plan_faulted": dataclasses.replace(PRODUCTION, fault_injection=FAULTS),
+    "interp_faulted": dataclasses.replace(
+        PRODUCTION, plan_cache_enabled=False, fault_injection=FAULTS
+    ),
+}
+
+# One machine per variant, reset to its boot snapshot between examples;
+# building the Mesa emulator image dominates the test's cost otherwise.
+_MACHINES = {}
+
+
+def _machine(variant):
+    if variant not in _MACHINES:
+        cpu = mesa_loop_sum(60, config=CONFIGS[variant]).ctx.cpu
+        _MACHINES[variant] = (cpu, cpu.snapshot())
+    cpu, pristine = _MACHINES[variant]
+    cpu.restore(pristine)
+    return cpu
+
+
+# --- the core property ------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", sorted(CONFIGS))
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(0, 1200), k=st.integers(1, 600))
+def test_restore_replays_byte_identically(variant, n, k):
+    """run n, snapshot, run k -- restoring and re-running k matches."""
+    cpu = _machine(variant)
+    cpu.run(n)
+    mid = cpu.snapshot()
+    mid_json = mid.to_json()
+    cpu.run(k)
+    end_json = cpu.snapshot().to_json()
+    end_counters = cpu.counters.state_dict()
+
+    cpu.restore(mid)
+    resnap = cpu.snapshot()
+    assert resnap.to_json() == mid_json, diff_states(resnap, mid)
+    cpu.run(k)
+    assert cpu.snapshot().to_json() == end_json
+    assert cpu.counters.state_dict() == end_counters
+
+
+def test_snapshot_does_not_alias_live_state():
+    """A held snapshot must not change as the machine keeps stepping."""
+    cpu = _machine("plan")
+    cpu.run(500)
+    snap = cpu.snapshot()
+    frozen = snap.to_json()
+    cpu.run(500)
+    assert snap.to_json() == frozen
+
+
+def test_same_snapshot_restores_twice():
+    cpu = _machine("plan")
+    cpu.run(400)
+    snap = cpu.snapshot()
+    cpu.run(300)
+    first = None
+    for _ in range(2):
+        cpu.restore(snap)
+        cpu.run(300)
+        end = cpu.snapshot().to_json()
+        assert first is None or end == first
+        first = end
+
+
+# --- every workload, both cycle paths ---------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+@pytest.mark.parametrize("path", ["plan", "interp"])
+def test_workload_roundtrip(name, path):
+    """Snapshot/restore is byte-identical for every perf workload."""
+    workload = ALL_WORKLOADS[name](config=CONFIGS[path])
+    cpu = workload.ctx.cpu
+    cpu.run(2000)
+    mid = cpu.snapshot()
+    first_cycles = cpu.run(100_000)
+    assert cpu.halted
+    end_json = cpu.snapshot().to_json()
+    assert workload.verify()
+
+    cpu.restore(mid)
+    replay_cycles = cpu.run(100_000)
+    assert replay_cycles == first_cycles
+    assert cpu.snapshot().to_json() == end_json
+    assert workload.verify()
+
+
+# --- fork independence -------------------------------------------------------
+
+
+def _display_machine():
+    asm = Assembler()
+    asm.emit(idle=True)
+    display_fast_microcode(asm)
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map()
+    display = DisplayController(munch_interval_cycles=8)
+    cpu.attach_device(display)
+    for i in range(32 * MUNCH_WORDS):
+        cpu.memory.debug_write(0x3000 + i, i)
+    display.begin_band(cpu, 0x3000, 32)
+    return cpu, display
+
+
+def test_fork_is_independent_with_fast_io_in_flight():
+    """Forked mid-band, parent and clone refresh the band separately."""
+    cpu, display = _display_machine()
+    cpu.run(100)
+    while not cpu.memory._fast_in_flight:  # munch actually on the wire
+        cpu.step()
+    at_fork = cpu.snapshot().to_json()
+
+    clone = cpu.fork()
+    assert clone.snapshot().to_json() == at_fork
+    assert clone.memory.storage is not cpu.memory.storage
+    assert clone.counters is not cpu.counters
+    assert clone._devices[0] is not display
+
+    cpu.run_until(lambda m: display.done, max_cycles=50_000)
+    assert display.done and display.underruns == 0
+    # The parent ran to completion; the clone must not have moved.
+    assert clone.snapshot().to_json() == at_fork
+
+    mirror = clone._devices[0]
+    clone.run_until(lambda m: mirror.done, max_cycles=50_000)
+    assert mirror.done and mirror.underruns == 0
+    assert mirror.pixels_consumed == display.pixels_consumed
+    assert clone.snapshot().to_json() == cpu.snapshot().to_json()
+
+
+def test_fork_replays_workload_to_same_result():
+    cpu = _machine("plan_faulted")
+    cpu.run(1500)
+    clone = cpu.fork()
+    first = cpu.run(100_000)
+    second = clone.run(100_000)
+    assert (first, cpu.halted) == (second, clone.halted)
+    assert cpu.snapshot().to_json() == clone.snapshot().to_json()
+
+
+# --- boot() residue (the re-boot satellite) ----------------------------------
+
+
+def test_boot_clears_run_residue():
+    """Re-booting must not leak bypass/hold/IFU state into the new run."""
+    asm = Assembler()
+    asm.register("acc", 1)
+    asm.label("start")
+    asm.emit(r="acc", b=5, alu="B", load="RM")
+    asm.emit(r="acc", a="RM", b=2, alu="ADD", load="RM")
+    asm.halt()
+    cpu = Processor()
+    cpu.load_image(asm.assemble())
+    cpu.boot("start")
+    cpu.run(100)
+    assert cpu.regs.rm[cpu.regs.rm_address(0, 1)] == 7
+
+    # Poison the residue a paused/halted machine can carry, then re-boot.
+    cpu._pending[1] = 0xDEAD
+    cpu._consecutive_holds = 17
+    cpu.boot("start")
+    assert cpu._pending == {}
+    assert cpu._consecutive_holds == 0
+    assert cpu.ifu._head is None
+    assert cpu.ifu._buffered == cpu.ifu.pc
+    cpu.run(100)
+    assert cpu.regs.rm[cpu.regs.rm_address(0, 1)] == 7
+
+
+# --- serialization -----------------------------------------------------------
+
+
+def test_save_load_roundtrip_is_byte_identical(tmp_path):
+    cpu = _machine("plan")
+    cpu.run(700)
+    snap = cpu.snapshot()
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    snap.save(a)
+    loaded = MachineState.load(a)
+    loaded.save(b)
+    assert a.read_bytes() == b.read_bytes()
+
+    cpu.run(400)
+    cpu.restore(loaded)
+    assert cpu.snapshot().to_json() == snap.to_json()
+    assert loaded == snap
+    assert f"cycle={cpu.now}" in repr(loaded)
+
+
+def test_config_mismatch_is_refused():
+    snap = _machine("plan").snapshot()
+    other = Processor(dataclasses.replace(PRODUCTION, cache_lines=256))
+    with pytest.raises(StateError):
+        other.restore(snap)
+
+
+def test_version_mismatch_is_refused():
+    cpu = _machine("plan")
+    snap = cpu.snapshot()
+    snap.data["version"] = STATE_FORMAT_VERSION + 1
+    with pytest.raises(StateError):
+        cpu.restore(snap)
+
+
+def test_device_roster_mismatch_is_refused():
+    cpu, _ = _display_machine()
+    snap = cpu.snapshot()
+    bare = Processor()  # no devices attached
+    with pytest.raises(StateError):
+        bare.restore(snap)
+
+
+def test_malformed_json_is_refused():
+    with pytest.raises(StateError):
+        MachineState.from_json("{not json")
+    with pytest.raises(StateError):
+        MachineState.from_json('{"no": "version"}')
+
+
+def test_diff_states_names_the_divergent_register():
+    cpu = _machine("plan")
+    cpu.run(300)
+    a = cpu.snapshot()
+    b = cpu.snapshot()
+    b.data["core"]["regs"]["rm"][3] ^= 1
+    b.data["core"]["now"] += 1
+    diffs = diff_states(a, b)
+    assert any("core.regs.rm[3]" in d for d in diffs)
+    assert any("core.now" in d for d in diffs)
+    assert diff_states(a, a) == []
