@@ -42,7 +42,9 @@ from .core import (
 from .errors import (
     AssemblyError,
     ConfigError,
+    CorruptionDetected,
     DeviceError,
+    DivergenceDetected,
     DoradoError,
     EmulatorError,
     EncodingError,
@@ -50,6 +52,8 @@ from .errors import (
     MicrocodeCrash,
     PlacementError,
     StateError,
+    TransientFault,
+    UnrecoverableFault,
 )
 from .fault import FaultConfig, InjectionPlan
 from .state import MachineState, diff_states
@@ -63,7 +67,9 @@ __all__ = [
     "BSel",
     "Condition",
     "ConfigError",
+    "CorruptionDetected",
     "DeviceError",
+    "DivergenceDetected",
     "DoradoError",
     "EmulatorError",
     "EncodingError",
@@ -84,6 +90,8 @@ __all__ = [
     "Processor",
     "STITCHWELD",
     "StateError",
+    "TransientFault",
+    "UnrecoverableFault",
     "__version__",
     "diff_states",
 ]

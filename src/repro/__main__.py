@@ -13,6 +13,18 @@ section-7-style per-opcode-class cost table, and ``--metrics-json``
 writes the structured counters/holds/tasks snapshot (``-`` for stdout).
 Tracer and profiler ride the same bus, so any combination composes; the
 observers are detached afterwards, leaving the machine's hooks pristine.
+
+The self-healing mode (DESIGN.md section 5.5)::
+
+    python -m repro --workload mesa_loop_sum --supervise --fault-plan plan.json
+
+``--fault-plan`` enables deterministic fault injection from a JSON file
+of :class:`~repro.fault.plan.FaultConfig` fields, and ``--supervise``
+runs the workload under the recovery supervisor -- periodic
+checkpoints, machine-check sweeps, rollback-and-replay on detected
+corruption -- printing the recovery report afterwards.  Failures are
+diagnosed (machine context plus the fault trace), not dumped as
+tracebacks.
 """
 
 from __future__ import annotations
@@ -21,6 +33,38 @@ import argparse
 import json
 import sys
 from typing import List, Optional
+
+from .errors import DoradoError
+
+
+def _print_failure(exc: DoradoError, cpu) -> None:
+    """Diagnose a failed run: error, machine context, fault trace.
+
+    The recovery exceptions (and ``HoldTimeout``) carry the machine
+    context they were raised with; anything they lack is read off the
+    live machine, and the injector's trace -- the ground truth of what
+    was injected when -- is printed through ``format_fault_trace``
+    instead of letting the exception escape as a bare traceback.
+    """
+    from .perf.tracing import format_fault_trace
+
+    print(f"FAILED: {type(exc).__name__}: {exc}")
+    task = getattr(exc, "task", None)
+    pc = getattr(exc, "pc", None)
+    cycle = getattr(exc, "cycle", None)
+    context = [
+        f"task {task if task is not None else cpu.pipe.this_task}",
+        f"upc {(pc if pc is not None else cpu.this_pc):#o}",
+        f"cycle {cycle if cycle is not None else cpu.now}",
+    ]
+    hold_cause = getattr(exc, "hold_cause", None)
+    if hold_cause is not None:
+        context.append(f"hold cause {hold_cause}")
+    print("  at " + ", ".join(context))
+    if cpu.fault_injector is not None:
+        print("  fault trace:")
+        for line in format_fault_trace(cpu.fault_injector.trace).splitlines():
+            print(f"    {line}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -62,21 +106,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--load-state", default=None, metavar="PATH",
         help="restore a snapshot into the workload's machine before running",
     )
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="run under the recovery supervisor (checkpoints, machine "
+             "checks, rollback-and-replay)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=2000, metavar="CYCLES",
+        help="cycles between supervisor checkpoints",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="rollback-and-replay budget per checkpoint",
+    )
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="enable fault injection from a JSON file of FaultConfig fields",
+    )
     args = parser.parse_args(argv)
 
     wants_instruments = args.trace or args.profile or args.metrics_json is not None
     wants_state = args.save_state is not None or args.load_state is not None
+    wants_supervision = args.supervise or args.fault_plan is not None
     if args.workload is None:
-        if wants_instruments or wants_state:
+        if wants_instruments or wants_state or wants_supervision:
             parser.error(
-                "--trace/--profile/--metrics-json/--save-state/--load-state "
-                "need --workload"
+                "--trace/--profile/--metrics-json/--save-state/--load-state/"
+                "--supervise/--fault-plan need --workload"
             )
         from .perf.report import main as report_main
         report_main()
         return 0
 
-    workload = ALL_WORKLOADS[args.workload]()
+    config = None
+    if args.fault_plan is not None:
+        import dataclasses
+
+        from .config import PRODUCTION
+        from .fault.plan import FaultConfig
+
+        try:
+            with open(args.fault_plan) as f:
+                fields = json.load(f)
+            fault_config = FaultConfig(**fields)
+        except (OSError, TypeError, ValueError) as exc:
+            parser.error(f"cannot read fault plan {args.fault_plan}: {exc}")
+        config = dataclasses.replace(PRODUCTION, fault_injection=fault_config)
+
+    if config is not None:
+        workload = ALL_WORKLOADS[args.workload](config=config)
+    else:
+        workload = ALL_WORKLOADS[args.workload]()
     cpu = workload.ctx.cpu
     if args.load_state is not None:
         from .state import MachineState
@@ -89,8 +169,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.profile or args.metrics_json is not None:
         profiler = OpcodeProfiler(workload.ctx)
 
-    cycles = workload.run(max_cycles=args.max_cycles)
+    supervisor = None
+    try:
+        if args.supervise:
+            from .errors import EmulatorError
+            from .supervise import Supervisor
+
+            supervisor = Supervisor(
+                cpu,
+                checkpoint_interval=args.checkpoint_interval,
+                max_retries=args.max_retries,
+            )
+            cycles = supervisor.run(max_cycles=args.max_cycles)
+            if not cpu.halted:
+                raise EmulatorError(
+                    f"{workload.name} did not halt within "
+                    f"{args.max_cycles} supervised cycles"
+                )
+            if not workload.verify():
+                raise EmulatorError(
+                    f"{workload.name} halted but failed verification "
+                    f"under supervision"
+                )
+        else:
+            cycles = workload.run(max_cycles=args.max_cycles)
+    except DoradoError as exc:
+        _print_failure(exc, cpu)
+        if tracer is not None:
+            tracer.uninstall()
+        if profiler is not None:
+            profiler.uninstall()
+        return 1
     print(f"{workload.name}: {cycles} cycles, verified")
+    if supervisor is not None:
+        from .perf.report import format_recovery_report
+
+        print()
+        print(format_recovery_report(cpu, supervisor.log))
 
     if args.save_state is not None:
         cpu.snapshot().save(args.save_state)

@@ -25,6 +25,13 @@ HOLD_IFU = 3
 #: ``Counters.hold_causes`` index -> human-readable cause name.
 HOLD_CAUSE_NAMES = ("storage_busy", "md_wait", "ifu_wait")
 
+#: Counter fields owned by the recovery supervisor (DESIGN.md 5.5).
+#: These describe the *supervision* of a run, not its architectural
+#: trajectory, so byte-identity comparisons strip them
+#: (:func:`repro.supervise.architectural_json`) and a rollback
+#: preserves them across ``restore``.
+RECOVERY_FIELDS = ("checks_failed", "rollbacks", "replays", "degrades")
+
 
 @dataclass
 class Counters:
@@ -56,6 +63,13 @@ class Counters:
     #: Held cycles by cause, indexed HOLD_STORAGE-1 / HOLD_MD-1 / HOLD_IFU-1
     #: (see HOLD_CAUSE_NAMES); the three sum to ``held_cycles``.
     hold_causes: List[int] = field(default_factory=lambda: [0, 0, 0])
+    #: Recovery-supervisor bookkeeping (RECOVERY_FIELDS): sanitizer
+    #: checks tripped, checkpoints rolled back to, replays launched,
+    #: and plan-cache -> interpreter degradations.
+    checks_failed: int = 0
+    rollbacks: int = 0
+    replays: int = 0
+    degrades: int = 0
 
     def record_cycle(self, task: int, held: bool) -> None:
         self.cycles += 1
@@ -113,6 +127,10 @@ class Counters:
             disk_retries=self.disk_retries - earlier.disk_retries,
             disk_remaps=self.disk_remaps - earlier.disk_remaps,
             hold_causes=[a - b for a, b in zip(self.hold_causes, earlier.hold_causes)],
+            checks_failed=self.checks_failed - earlier.checks_failed,
+            rollbacks=self.rollbacks - earlier.rollbacks,
+            replays=self.replays - earlier.replays,
+            degrades=self.degrades - earlier.degrades,
         )
 
     # --- snapshot protocol (DESIGN.md section 5.4) -------------------------
@@ -153,4 +171,8 @@ class Counters:
             "ecc_uncorrected": self.ecc_uncorrected,
             "disk_retries": self.disk_retries,
             "disk_remaps": self.disk_remaps,
+            "checks_failed": self.checks_failed,
+            "rollbacks": self.rollbacks,
+            "replays": self.replays,
+            "degrades": self.degrades,
         }

@@ -58,7 +58,9 @@ from ..types import EMULATOR_TASK, word
 from . import functions
 from .alu import Alu
 from .console import Console
-from .counters import HOLD_IFU, HOLD_MD, HOLD_NONE, HOLD_STORAGE, Counters
+from .counters import (
+    HOLD_CAUSE_NAMES, HOLD_IFU, HOLD_MD, HOLD_NONE, HOLD_STORAGE, Counters,
+)
 from .functions import FF
 from .microword import (
     ASel,
@@ -222,8 +224,10 @@ class Processor:
         Re-booting a machine that has already run must not leak the
         previous program's in-flight state into the new one: the bypass
         latch (a result the old program staged but never committed), the
-        Hold watchdog count, and the IFU's buffered prefetch bytes are
-        all cleared here.
+        Hold watchdog count, the IFU's buffered prefetch bytes, any
+        latched memory-fault bits, and the fault injector's schedule
+        cursors and trace are all cleared here -- so back-to-back
+        booted runs under one injector see the identical fault plan.
         """
         if isinstance(pc, str):
             pc = self.symbols[pc]
@@ -234,6 +238,9 @@ class Processor:
         self._pending.clear()
         self._consecutive_holds = 0
         self.ifu.flush_buffers()
+        self.memory.fault_flags = 0
+        if self.memory.injector is not None:
+            self.memory.injector.reset()
 
     def address_of(self, label: str) -> int:
         return self.symbols[label]
@@ -468,7 +475,7 @@ class Processor:
         if held:
             self._consecutive_holds += 1
             if self._consecutive_holds > (self._hold_limit or HOLD_LIMIT):
-                raise self._hold_timeout(task, pc)
+                raise self._hold_timeout(task, pc, hold_cause)
             self.counters.hold_causes[hold_cause - 1] += 1
             next_pc = pc  # "no operation, jump to self"
             blocked = False
@@ -576,7 +583,7 @@ class Processor:
         if held:
             self._consecutive_holds += 1
             if self._consecutive_holds > (self._hold_limit or HOLD_LIMIT):
-                raise self._hold_timeout(task, pc)
+                raise self._hold_timeout(task, pc, hold_cause)
             self.counters.hold_causes[hold_cause - 1] += 1
             next_pc = pc  # "no operation, jump to self"
             blocked = False
@@ -1128,9 +1135,13 @@ class Processor:
     def _on_memory_fault(self, bits: int) -> None:
         self.pipe.set_wakeup(self._fault_task)
 
-    def _hold_timeout(self, task: int, pc: int) -> HoldTimeout:
+    def _hold_timeout(self, task: int, pc: int, hold_cause: int = 0) -> HoldTimeout:
         """Build the diagnosable watchdog error (section 5.7 livelock)."""
         md_valid, md_ready_at, storage_busy_until = self.memory.ref_state(task)
+        cause_name = (
+            HOLD_CAUSE_NAMES[hold_cause - 1]
+            if 1 <= hold_cause <= len(HOLD_CAUSE_NAMES) else None
+        )
         return HoldTimeout(
             task=task,
             pc=pc,
@@ -1139,6 +1150,7 @@ class Processor:
             md_valid=md_valid,
             md_ready_at=md_ready_at,
             storage_busy_until=storage_busy_until,
+            hold_cause=cause_name,
         )
 
     # --- memory-reference start ----------------------------------------------

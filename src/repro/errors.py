@@ -45,8 +45,9 @@ class HoldTimeout(MicrocodeCrash):
 
     The real machine would simply livelock if a reference never
     completed; the simulator raises instead, carrying enough of the
-    pipeline state (task, microaddress, cycle, MEMDATA readiness) to
-    diagnose which reference never became ready.
+    pipeline state (task, microaddress, cycle, MEMDATA readiness, and
+    the last attributed hold cause) to diagnose which reference never
+    became ready.
     """
 
     def __init__(
@@ -58,6 +59,7 @@ class HoldTimeout(MicrocodeCrash):
         md_valid: bool = False,
         md_ready_at: int = 0,
         storage_busy_until: int = 0,
+        hold_cause: str | None = None,
     ) -> None:
         self.task = task
         self.pc = pc
@@ -66,13 +68,16 @@ class HoldTimeout(MicrocodeCrash):
         self.md_valid = md_valid
         self.md_ready_at = md_ready_at
         self.storage_busy_until = storage_busy_until
+        self.hold_cause = hold_cause
         md = (
             f"MEMDATA ready at cycle {md_ready_at}" if md_valid
             else "no reference ever completed for this task"
         )
+        cause = f"; last hold cause {hold_cause}" if hold_cause else ""
         super().__init__(
             f"task {task} held {holds} consecutive cycles at {pc:#o} "
-            f"(cycle {cycle}; {md}; storage busy until {storage_busy_until})"
+            f"(cycle {cycle}; {md}; storage busy until "
+            f"{storage_busy_until}{cause})"
         )
 
 
@@ -84,6 +89,108 @@ class StateError(DoradoError):
     to, for malformed serialized state, and for snapshots that cannot
     be taken (e.g. in-flight fast I/O with no device mapping).
     """
+
+
+class TransientFault(DoradoError):
+    """A failure the recovery supervisor believes rollback can cure.
+
+    Base of the recoverable half of the failure taxonomy (DESIGN.md
+    section 5.5).  Carries whatever machine context was available at
+    the detection point so post-mortems do not need a live machine.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task: int | None = None,
+        pc: int | None = None,
+        cycle: int | None = None,
+        hold_cause: str | None = None,
+    ) -> None:
+        self.task = task
+        self.pc = pc
+        self.cycle = cycle
+        self.hold_cause = hold_cause
+        where = []
+        if task is not None:
+            where.append(f"task {task}")
+        if pc is not None:
+            where.append(f"upc {pc:#o}")
+        if cycle is not None:
+            where.append(f"cycle {cycle}")
+        if hold_cause is not None:
+            where.append(f"hold cause {hold_cause}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(message + suffix)
+
+
+class CorruptionDetected(TransientFault):
+    """The machine-check sanitizer found a violated invariant.
+
+    ``failures`` is a tuple of human-readable descriptions, one per
+    tripped check (a single sweep can trip several).
+    """
+
+    def __init__(self, failures, **context) -> None:
+        self.failures = tuple(str(f) for f in failures)
+        count = len(self.failures)
+        head = self.failures[0] if self.failures else "unspecified"
+        more = f" (+{count - 1} more)" if count > 1 else ""
+        super().__init__(f"machine check failed: {head}{more}", **context)
+
+
+class DivergenceDetected(TransientFault):
+    """Plan-cache and interpreter execution disagreed.
+
+    ``diffs`` holds the :func:`~repro.state.diff_states` paths at the
+    first divergent cycle -- evidence that a compiled plan, not the
+    architectural state, is the suspect.
+    """
+
+    def __init__(self, cycle, diffs, **context) -> None:
+        self.diffs = tuple(diffs)
+        context.setdefault("cycle", cycle)
+        head = self.diffs[0] if self.diffs else "state mismatch"
+        super().__init__(
+            f"plan/interpreter divergence at cycle {cycle}: {head}", **context
+        )
+
+
+class UnrecoverableFault(DoradoError):
+    """The recovery supervisor exhausted its retry budget.
+
+    Chains the final failure as ``cause`` and records how many
+    rollback-and-replay attempts were spent, plus the machine context
+    of the last attempt.
+    """
+
+    def __init__(
+        self,
+        cause: BaseException,
+        attempts: int,
+        *,
+        task: int | None = None,
+        pc: int | None = None,
+        cycle: int | None = None,
+    ) -> None:
+        self.cause = cause
+        self.attempts = attempts
+        self.task = task
+        self.pc = pc
+        self.cycle = cycle
+        where = []
+        if task is not None:
+            where.append(f"task {task}")
+        if pc is not None:
+            where.append(f"upc {pc:#o}")
+        if cycle is not None:
+            where.append(f"cycle {cycle}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(
+            f"recovery failed after {attempts} rollback attempts: "
+            f"{cause}{suffix}"
+        )
 
 
 class DeviceError(DoradoError):

@@ -107,6 +107,17 @@ class FaultInjector:
         """Events not yet delivered."""
         return len(self._storage_queue) + len(self._map_queue) + len(self._disk_queue)
 
+    def reset(self) -> None:
+        """Rewind to the freshly-built state: full schedules, empty trace.
+
+        ``Processor.boot()`` calls this so back-to-back booted runs
+        under one injector replay the identical fault schedule instead
+        of resuming from wherever the previous run's cursors stopped.
+        """
+        for component, attr in self._QUEUES:
+            setattr(self, attr, deque(self.plan.schedule(component)))
+        self.trace.clear()
+
     def record(self, component: str, kind: str, address: int = 0, detail: str = "") -> None:
         entry = FaultRecord(self.now, component, kind, address, detail)
         self.trace.append(entry)

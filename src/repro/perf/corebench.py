@@ -152,6 +152,70 @@ def run_warmstart_bench(repeats: int = 3) -> dict:
     }
 
 
+#: Supervision (checkpoint snapshots + sanitizer sweeps) may cost at
+#: most this factor in wall-clock over the bare run.  The dominant term
+#: is the checkpoint snapshot (a full storage-image copy per interval);
+#: the bound is deliberately loose enough for CI noise but tight enough
+#: that an accidentally-hot sanitizer (or per-cycle snapshots) fails.
+SUPERVISED_OVERHEAD_LIMIT = 8.0
+
+
+def run_supervised_bench(repeats: int = 3) -> dict:
+    """The E1 workload, bare versus supervised: overhead with parity.
+
+    The supervised run carries periodic checkpoints and machine-check
+    sweeps but no faults, so it must simulate the *identical* cycle
+    count (the supervisor's zero-perturbation guarantee) -- enforced
+    here, making the row a correctness receipt as well as a price tag.
+    The overhead factor is asserted under ``SUPERVISED_OVERHEAD_LIMIT``.
+    """
+    from ..supervise import Supervisor
+
+    bare_best = float("inf")
+    bare_cycles = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        workload = mesa_loop_sum(200)
+        cycles = workload.run()
+        bare_best = min(bare_best, time.perf_counter() - t0)
+        if bare_cycles is not None and cycles != bare_cycles:
+            raise AssertionError(
+                f"bare runs disagree on the simulated cycle count "
+                f"({bare_cycles} != {cycles})"
+            )
+        bare_cycles = cycles
+
+    supervised_best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        workload = mesa_loop_sum(200)
+        supervisor = Supervisor(
+            workload.ctx.cpu, checkpoint_interval=1500, check_interval=256
+        )
+        cycles = supervisor.run()
+        supervised_best = min(supervised_best, time.perf_counter() - t0)
+        if cycles != bare_cycles:
+            raise AssertionError(
+                f"supervision perturbed the simulated cycle count "
+                f"({bare_cycles} != {cycles})"
+            )
+        if not workload.verify():
+            raise AssertionError("supervised run failed workload verification")
+    overhead = supervised_best / bare_best
+    if overhead > SUPERVISED_OVERHEAD_LIMIT:
+        raise AssertionError(
+            f"supervision overhead {overhead:.2f}x exceeds the "
+            f"{SUPERVISED_OVERHEAD_LIMIT}x budget"
+        )
+    return {
+        "simulated_cycles": bare_cycles,
+        "bare_seconds": round(bare_best, 6),
+        "supervised_seconds": round(supervised_best, 6),
+        "overhead_factor": round(overhead, 2),
+        "overhead_limit": SUPERVISED_OVERHEAD_LIMIT,
+    }
+
+
 def compare_to_baseline(
     results: Dict[str, dict], baseline: Dict[str, dict], tolerance: float = 0.35
 ) -> List[str]:
@@ -197,13 +261,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
-    baseline = baseline_warm = None
+    baseline = baseline_warm = baseline_supervised = None
     if args.baseline is not None:
         try:
             with open(args.baseline) as f:
                 doc = json.load(f)
             baseline = doc["workloads"]
             baseline_warm = doc.get("warm_start")
+            baseline_supervised = doc.get("supervised_overhead")
         except (OSError, KeyError, ValueError) as exc:
             parser.error(f"cannot read baseline {args.baseline}: {exc}")
     try:
@@ -213,6 +278,7 @@ def main(argv=None) -> int:
 
     results = run_corebench(repeats=args.repeats)
     warm = run_warmstart_bench(repeats=args.repeats)
+    supervised = run_supervised_bench(repeats=args.repeats)
     report = {
         "benchmark": "core simulator cycle rate, plan cache off vs on",
         "host": {
@@ -221,6 +287,7 @@ def main(argv=None) -> int:
         },
         "workloads": results,
         "warm_start": warm,
+        "supervised_overhead": supervised,
     }
     with output as f:
         json.dump(report, f, indent=2)
@@ -238,17 +305,32 @@ def main(argv=None) -> int:
         f"restore {warm['warm_restore_seconds']*1e3:.1f} ms "
         f"({warm['warm_speedup']:.2f}x)"
     )
+    print(
+        f"supervision: bare {supervised['bare_seconds']*1e3:.1f} ms, "
+        f"supervised {supervised['supervised_seconds']*1e3:.1f} ms "
+        f"({supervised['overhead_factor']:.2f}x of "
+        f"{supervised['overhead_limit']:.1f}x budget)"
+    )
     print(f"wrote {args.output}")
     if baseline is not None:
         problems = compare_to_baseline(results, baseline, tolerance=args.tolerance)
-        if baseline_warm is not None and (
-            warm["simulated_cycles"] != baseline_warm["simulated_cycles"]
+        # Sections a baseline predating them simply lacks are skipped with
+        # a warning, never a KeyError -- old baselines stay usable.
+        for section, base_row, row in (
+            ("warm_start", baseline_warm, warm),
+            ("supervised_overhead", baseline_supervised, supervised),
         ):
-            problems.append(
-                f"warm_start: simulated cycles changed "
-                f"({baseline_warm['simulated_cycles']} -> "
-                f"{warm['simulated_cycles']})"
-            )
+            if base_row is None:
+                print(
+                    f"baseline warning: {section} missing from "
+                    f"{args.baseline}; skipping its comparison"
+                )
+            elif row["simulated_cycles"] != base_row.get("simulated_cycles"):
+                problems.append(
+                    f"{section}: simulated cycles changed "
+                    f"({base_row.get('simulated_cycles')} -> "
+                    f"{row['simulated_cycles']})"
+                )
         if problems:
             for p in problems:
                 print(f"BASELINE MISMATCH: {p}")

@@ -60,8 +60,15 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Tuple
 
-#: Channel names, in the order install() accepts them.
-CHANNELS = ("cycle", "dispatch", "hold_start", "hold_end", "task_switch", "fault")
+#: Channel names, in the order install() accepts them.  The last four
+#: are the recovery channels (DESIGN.md 5.5): they are *published* by
+#: the recovery supervisor through :meth:`InstrumentationBus.publish`
+#: rather than compiled into the machine's hook slots, so subscribing
+#: to them costs the hot loop nothing.
+CHANNELS = (
+    "cycle", "dispatch", "hold_start", "hold_end", "task_switch", "fault",
+    "check_fail", "rollback", "replay", "degrade",
+)
 
 
 class InstrumentationBus:
@@ -106,6 +113,10 @@ class InstrumentationBus:
         hold_end: Optional[Callable] = None,
         task_switch: Optional[Callable] = None,
         fault: Optional[Callable] = None,
+        check_fail: Optional[Callable] = None,
+        rollback: Optional[Callable] = None,
+        replay: Optional[Callable] = None,
+        degrade: Optional[Callable] = None,
     ) -> str:
         """Attach a named subscriber; returns its (possibly generated) name.
 
@@ -116,7 +127,9 @@ class InstrumentationBus:
         channels = {
             key: cb
             for key, cb in zip(
-                CHANNELS, (cycle, dispatch, hold_start, hold_end, task_switch, fault)
+                CHANNELS,
+                (cycle, dispatch, hold_start, hold_end, task_switch, fault,
+                 check_fail, rollback, replay, degrade),
             )
             if cb is not None
         }
@@ -151,6 +164,19 @@ class InstrumentationBus:
 
     def __len__(self) -> int:
         return len(self._subs)
+
+    def publish(self, channel: str, *args) -> None:
+        """Deliver an out-of-band event to a channel's subscribers.
+
+        Used by layers *above* the machine cycle -- the recovery
+        supervisor publishes ``check_fail``/``rollback``/``replay``/
+        ``degrade`` here.  Publishing to a channel with no subscribers
+        is free; publishing to an unknown channel is an error.
+        """
+        if channel not in CHANNELS:
+            raise ValueError(f"unknown channel {channel!r}")
+        for cb in self._channel(channel):
+            cb(*args)
 
     # ------------------------------------------------------------------
     # compilation: subscriber set -> the machine's three hook slots

@@ -559,6 +559,108 @@ def experiment_fault_injection() -> List[Row]:
     return rows
 
 
+# --------------------------------------------------------------------------
+# E15: checkpoint rollback-and-replay recovery (beyond the paper;
+# DESIGN.md section 5.5)
+# --------------------------------------------------------------------------
+
+#: The canned end-to-end recovery demo: a storage munch corrupted by an
+#: uncorrectable double-bit error during the first cache fill, plus a
+#: spurious map fault mid-workload.  Unsupervised, the run completes
+#: but computes the wrong answer; supervised, both corruptions are
+#: detected, rolled back, and replayed to the clean run's exact state.
+DEMO_CHECKPOINT_INTERVAL = 600
+
+
+def demo_fault_config():
+    """The E15 demo's seeded fault plan (see DEMO_CHECKPOINT_INTERVAL)."""
+    from ..fault import FaultConfig
+
+    return FaultConfig(
+        seed=39,
+        storage_uncorrectable=1,
+        map_faults=1,
+        first_cycle=0,
+        last_cycle=2200,
+    )
+
+
+def experiment_recovery() -> List[Row]:
+    """Self-healing execution: detect, roll back, replay, converge.
+
+    Runs the demo fault plan against ``mesa_loop_sum`` three ways --
+    clean, faulted-unsupervised, faulted-supervised -- and shows that
+    supervision turns a wrong-answer run into one whose final
+    architectural state is byte-identical to the clean run's.
+    """
+    import dataclasses
+
+    from ..supervise import Supervisor, architectural_json
+
+    clean = mesa_loop_sum(200)
+    clean.run()
+
+    faulted_config = dataclasses.replace(
+        PRODUCTION, fault_injection=demo_fault_config()
+    )
+    unsupervised = mesa_loop_sum(200, config=faulted_config)
+    unsupervised.ctx.cpu.run(50_000)
+    unsupervised_ok = unsupervised.ctx.cpu.halted and unsupervised.verify()
+
+    supervised = mesa_loop_sum(200, config=faulted_config)
+    cpu = supervised.ctx.cpu
+    supervisor = Supervisor(
+        cpu, checkpoint_interval=DEMO_CHECKPOINT_INTERVAL, max_retries=3
+    )
+    supervisor.run(50_000)
+    supervised_ok = cpu.halted and supervised.verify()
+    identical = architectural_json(cpu.snapshot()) == architectural_json(
+        clean.ctx.cpu.snapshot()
+    )
+    counters = cpu.counters
+    return [
+        ("Faulted run verifies, unsupervised", "-", str(unsupervised_ok).lower()),
+        ("Faulted run verifies, supervised", "-", str(supervised_ok).lower()),
+        ("Rollbacks / replays", "-",
+         f"{counters.rollbacks} / {counters.replays}"),
+        ("Final state identical to clean run", "-", str(identical).lower()),
+    ]
+
+
+def format_recovery_report(machine, log) -> str:
+    """The supervisor's post-run section: counters plus the action log."""
+    counters = machine.counters
+    title = "recovery report"
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"checks failed {counters.checks_failed}, "
+        f"rollbacks {counters.rollbacks}, replays {counters.replays}, "
+        f"degrades {counters.degrades}"
+    )
+    if not log:
+        lines.append("(no recovery actions; the run was clean)")
+    for entry in log:
+        event = entry["event"]
+        if event == "rollback":
+            lines.append(
+                f"rollback  to cycle {entry['to_cycle']:>8d}  "
+                f"retry {entry['retry']}  {entry['cause']}: {entry['detail']}"
+            )
+        elif event == "replay":
+            lines.append(
+                f"replay  from cycle {entry['from_cycle']:>8d}  "
+                f"retry {entry['retry']}"
+            )
+        elif event == "degrade":
+            lines.append(
+                f"degrade at cycle {entry['at_cycle']:>8d}  "
+                f"plan cache off: {entry['first_diff']}"
+            )
+        else:
+            lines.append(str(entry))
+    return "\n".join(lines)
+
+
 ALL_EXPERIMENTS = {
     "E1 emulator microinstruction counts": experiment_e1,
     "E1b cross-language spectrum (compiled)": experiment_languages,
@@ -575,6 +677,7 @@ ALL_EXPERIMENTS = {
     "E12 task pipeline timing": experiment_e12,
     "E13 stitchweld vs multiwire": experiment_e13,
     "E14 fault injection (beyond paper)": experiment_fault_injection,
+    "E15 rollback-and-replay recovery (beyond paper)": experiment_recovery,
 }
 
 

@@ -34,7 +34,7 @@ from .errors import StateError
 #: Version stamp written into every MachineState.  Bump whenever a
 #: subsystem's state_dict layout changes incompatibly; restore refuses
 #: snapshots from a different version rather than misinterpreting them.
-STATE_FORMAT_VERSION = 1
+STATE_FORMAT_VERSION = 2
 
 #: Marker key for run-length-encoded integer arrays in canonical JSON.
 _RLE_KEY = "__rle__"

@@ -209,6 +209,50 @@ def test_boot_clears_run_residue():
     assert cpu.regs.rm[cpu.regs.rm_address(0, 1)] == 7
 
 
+def test_boot_resets_fault_injector_and_latches():
+    """Re-booting rewinds the fault schedule, trace, and fault latches.
+
+    Without the reset, a second booted run would see a half-consumed
+    injection plan and a stale FAULT_* latch -- the recovery supervisor
+    depends on re-runs under one injector seeing the identical plan.
+    """
+    faulted = dataclasses.replace(
+        PRODUCTION,
+        fault_injection=FaultConfig(seed=3, map_faults=1, last_cycle=0),
+    )
+    asm = Assembler(faulted)
+    asm.register("va", 1)
+    asm.label("start")
+    asm.emit(r="va", b=0x0200, alu="B", load="RM")
+    asm.emit(r="va", a="RM", fetch=True)       # map fault fires here
+    asm.emit(b="MD", alu="B", load="T")
+    asm.halt()
+    cpu = Processor(faulted)
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map(8)
+    inj = cpu.fault_injector
+    total = inj.pending
+    cpu.boot("start")
+    cpu.run(200)
+    assert cpu.halted
+    first = list(inj.trace)
+    assert first and inj.pending == total - 1
+    assert cpu.memory.fault_flags != 0         # FAULT_MAP latched, no fault task
+
+    cpu.boot("start")
+    assert inj.pending == total
+    assert inj.trace == []
+    assert cpu.memory.fault_flags == 0
+    cpu.run(200)
+    assert cpu.halted
+    # Same events fire again (the record's cycle stamp is absolute
+    # machine time, which boot deliberately does not rewind).
+    assert [
+        (r.component, r.kind, r.address, r.detail) for r in inj.trace
+    ] == [(r.component, r.kind, r.address, r.detail) for r in first]
+    assert cpu.memory.fault_flags != 0
+
+
 # --- serialization -----------------------------------------------------------
 
 
