@@ -1,22 +1,26 @@
-"""Core simulator speed: the execution-plan cache versus the
-interpretive reference (see ``repro.perf.corebench`` and
-``BENCH_core.json`` for the standalone before/after report)."""
+"""Core simulator speed: the execution-plan cache and the compiled-trace
+tier versus the interpretive reference (see ``repro.perf.corebench`` and
+``BENCH_core.json`` for the standalone three-tier report)."""
 
 from repro.config import INTERPRETED, PRODUCTION
 from repro.perf.corebench import SCENARIOS, run_corebench
-from repro.perf.measure import measure_simulation_rate
+from repro.perf.measure import measure_staged_rate
 
 from conftest import report_rows
 
 
 def test_plan_cache_speedup():
-    """The whole point of the plan cache: same cycles, fewer seconds."""
+    """The whole point of the fast tiers: same cycles, fewer seconds."""
     results = run_corebench(repeats=2)
     rows = [
-        (name, "-", f"{row['speedup']:.2f}x ({row['simulated_cycles']} cycles)")
+        (
+            name, "-",
+            f"{row['speedup']:.2f}x plan, {row['traced_speedup']:.2f}x "
+            f"traced ({row['simulated_cycles']} cycles)",
+        )
         for name, row in results.items()
     ]
-    report_rows("Core plan-cache speedup (before vs after)", rows)
+    report_rows("Core execution-tier speedups (interp vs plan vs traced)", rows)
     # run_corebench already asserted cycle parity; require a real win on
     # the emulator loop (the acceptance gate is 2x, measured standalone
     # in corebench -- under pytest we allow scheduler noise).
@@ -24,18 +28,18 @@ def test_plan_cache_speedup():
 
 
 def test_core_fast_path_rate(benchmark):
-    scenario = SCENARIOS["E1_mesa_loop_sum"](PRODUCTION)
-    cycles = benchmark(scenario)
+    stage = SCENARIOS["E1_mesa_loop_sum"](PRODUCTION)
+    cycles = benchmark(lambda: stage()())
     assert cycles > 0
 
 
 def test_core_interpreted_rate(benchmark):
-    scenario = SCENARIOS["E1_mesa_loop_sum"](INTERPRETED)
-    cycles = benchmark(scenario)
+    stage = SCENARIOS["E1_mesa_loop_sum"](INTERPRETED)
+    cycles = benchmark(lambda: stage()())
     assert cycles > 0
 
 
-def test_measure_simulation_rate_smoke():
-    rate = measure_simulation_rate(SCENARIOS["E2_bitblt_copy"](PRODUCTION), repeats=1)
+def test_measure_staged_rate_smoke():
+    rate = measure_staged_rate(SCENARIOS["E2_bitblt_copy"](PRODUCTION), repeats=1)
     assert rate.cycles > 0 and rate.seconds > 0
     assert rate.cycles_per_second > 0

@@ -123,22 +123,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fault-plan", default=None, metavar="PATH",
         help="enable fault injection from a JSON file of FaultConfig fields",
     )
+    parser.add_argument(
+        "--no-trace", action="store_true",
+        help="disable the compiled-trace tier (keep the plan cache): "
+             "the PLAN_ONLY configuration, for tier isolation and debugging",
+    )
     args = parser.parse_args(argv)
 
     wants_instruments = args.trace or args.profile or args.metrics_json is not None
     wants_state = args.save_state is not None or args.load_state is not None
     wants_supervision = args.supervise or args.fault_plan is not None
     if args.workload is None:
-        if wants_instruments or wants_state or wants_supervision:
+        if wants_instruments or wants_state or wants_supervision or args.no_trace:
             parser.error(
                 "--trace/--profile/--metrics-json/--save-state/--load-state/"
-                "--supervise/--fault-plan need --workload"
+                "--supervise/--fault-plan/--no-trace need --workload"
             )
         from .perf.report import main as report_main
         report_main()
         return 0
 
     config = None
+    if args.no_trace:
+        from .config import PLAN_ONLY
+
+        config = PLAN_ONLY
     if args.fault_plan is not None:
         import dataclasses
 
@@ -151,7 +160,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             fault_config = FaultConfig(**fields)
         except (OSError, TypeError, ValueError) as exc:
             parser.error(f"cannot read fault plan {args.fault_plan}: {exc}")
-        config = dataclasses.replace(PRODUCTION, fault_injection=fault_config)
+        config = dataclasses.replace(
+            config if config is not None else PRODUCTION,
+            fault_injection=fault_config,
+        )
 
     if config is not None:
         workload = ALL_WORKLOADS[args.workload](config=config)

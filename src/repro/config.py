@@ -63,6 +63,16 @@ class MachineConfig:
             enforces this), and plans are invalidated whenever an IM
             word is rewritten (console write paths, bootstrap loader,
             or direct ``im[...]`` assignment).
+        trace_cache_enabled: When True (the default) the simulator
+            additionally detects hot runs of execution plans and
+            compiles them into specialized Python traces executed from
+            the ``run()`` hot loop (:mod:`repro.core.tracecache`).
+            Requires ``plan_cache_enabled``; like it, this is purely a
+            simulator-speed knob -- the three-way differential matrix
+            in ``tests/test_fastpath_parity.py`` proves interp, plan
+            and traced execution bit-identical -- and traces are
+            dropped on any IM write, on ``restore()``, and on
+            ``attach_device()``.
         fault_injection: When set, the machine builds a deterministic
             :class:`~repro.fault.injector.FaultInjector` from this
             seeded :class:`~repro.fault.plan.FaultConfig` and delivers
@@ -93,6 +103,7 @@ class MachineConfig:
     ifu_decode_cycles: int = 1
     task_grain: int = 2
     plan_cache_enabled: bool = True
+    trace_cache_enabled: bool = True
     fault_injection: Optional[FaultConfig] = None
     fault_task: Optional[int] = None
     hold_limit: Optional[int] = None
@@ -159,4 +170,10 @@ MODEL0 = MachineConfig(bypass_enabled=False)
 #: The production machine with the simulator's plan cache disabled:
 #: every cycle re-decodes microword fields.  Only useful as the
 #: reference side of differential tests and benchmarks.
-INTERPRETED = MachineConfig(plan_cache_enabled=False)
+INTERPRETED = MachineConfig(plan_cache_enabled=False, trace_cache_enabled=False)
+
+#: The production machine running on decoded execution plans but with
+#: the compiled-trace tier off: the middle rung of the three-way
+#: differential ladder (interp / plan / traced) and the baseline the
+#: traced tier's speedup is measured against.
+PLAN_ONLY = MachineConfig(trace_cache_enabled=False)

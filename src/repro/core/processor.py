@@ -112,6 +112,7 @@ from .plancache import (
     compile_plan,
 )
 from .registers import RegisterFile
+from .tracecache import TraceCache
 from .shifter import ShiftControl, shift, shift_masked
 from .stack import StackUnit
 from .taskpipe import TaskPipeline
@@ -147,6 +148,12 @@ class Processor:
         # into _invalidate_plan.
         self._plans: List[Optional[ExecutionPlan]] = [None] * config.im_size
         self._plan_enabled = config.plan_cache_enabled
+        # The compiled-trace tier (DESIGN.md section 5.6) sits on top of
+        # the plan cache and shares its invalidation choke point; the
+        # cache object itself is mechanism (never snapshotted, never
+        # shared across fork()).
+        self._trace_enabled = config.plan_cache_enabled and config.trace_cache_enabled
+        self._traces = TraceCache(self)
         self.im: MicrostoreImage = MicrostoreImage(config.im_size, self._invalidate_plan)
         self.console.on_im_write = self._invalidate_plan
         self.symbols: Dict[str, int] = {}
@@ -217,6 +224,9 @@ class Processor:
             self._device_by_task[device.task] = device
         self._devices.append(device)
         device.attach(self)
+        # Compiled traces bind the device roster (tick unrolling, fast
+        # I/O ports, IOATN): a roster change invalidates them.
+        self._traces.invalidate_all()
 
     def boot(self, pc: int = 0, task: int = EMULATOR_TASK) -> None:
         """Point a task at *pc* and make it the running task.
@@ -400,6 +410,12 @@ class Processor:
             device.load_state(device_state)
         if injector is not None:
             injector.load_state(data["fault"])
+        # Compiled traces are dropped on every restore (even a warm one
+        # that kept its plans): they bind register/ref objects that
+        # load_state may have replaced, and the protocol's byte-identity
+        # guarantee is simplest to audit when a restored machine always
+        # re-warms from the plan path.
+        self._traces.invalidate_all()
 
     def fork(self) -> "Processor":
         """A fully independent copy of this machine, mid-run.
@@ -512,6 +528,8 @@ class Processor:
 
     def run(self, max_cycles: int = 1_000_000) -> int:
         """Step until FF ``HALT`` or *max_cycles*; returns cycles used."""
+        if self._trace_enabled and self._plan_enabled:
+            return self._run_traced(max_cycles)
         # The hot loop: bind the cycle implementation and the counters
         # once instead of re-resolving them a million times.
         step = self._step_plan if self._plan_enabled else self._step_interp
@@ -520,6 +538,69 @@ class Processor:
         limit = start + max_cycles
         while not self.halted and counters.cycles < limit:
             step()
+        return counters.cycles - start
+
+    def _run_traced(self, max_cycles: int) -> int:
+        """The ``run()`` hot loop with the compiled-trace tier engaged.
+
+        Executes a cached trace whenever the machine stands at a trace
+        entry, plan-steps everywhere else, and feeds the trace cache's
+        hot-region detector from the plain steps.  Traces are confined
+        to ``run()`` on purpose: ``run_until`` evaluates its predicate
+        between *every* cycle, and ``step()`` is the single-cycle
+        debugging interface -- both stay strictly per-cycle.
+        """
+        counters = self.counters
+        start = counters.cycles
+        limit = start + max_cycles
+        cache = self._traces
+        traces = cache.traces
+        counts = cache.counts
+        blacklist = cache.blacklist
+        threshold = cache.hot_threshold
+        step = self._step_plan
+        pipe = self.pipe
+        memory = self.memory
+        while not self.halted and counters.cycles < limit:
+            task = pipe.this_task
+            pc = self.this_pc
+            hook = self.trace_hook
+            if hook is None and cache._rec_key is None and not memory.fault_flags:
+                fn = traces.get((task, pc))
+                if fn is not None:
+                    cache.entries += 1
+                    before = counters.cycles
+                    fn(self, limit - before)
+                    if counters.cycles != before:
+                        continue
+                    # Zero progress: a fast-mode entry guard failed or
+                    # the budget is smaller than one loop iteration.
+                    # Fall through to a plan step so run() always
+                    # advances.
+            held_before = counters.held_cycles
+            step()
+            if hook is not None:
+                # Instrumented cycles are invisible to the detector: a
+                # recording that spanned them would have gaps.
+                if cache._rec_key is not None:
+                    cache.abort_recording()
+                continue
+            if counters.held_cycles != held_before:
+                continue  # a held cycle is "no-op, jump to self": no edge
+            new_pc = self.this_pc
+            if cache._rec_key is not None:
+                cache.record_step(task, pc, pipe.this_task, new_pc)
+            elif pipe.this_task == task and new_pc <= pc:
+                # A back edge: the classic hot-region signal (loops and
+                # re-entered service routines both produce one).
+                key = (task, new_pc)
+                if key not in traces and key not in blacklist:
+                    seen = counts.get(key, 0) + 1
+                    if seen >= threshold:
+                        counts.pop(key, None)
+                        cache.begin_recording(key)
+                    else:
+                        counts[key] = seen
         return counters.cycles - start
 
     def run_until(self, predicate: Callable[["Processor"], bool], max_cycles: int = 1_000_000) -> int:
@@ -537,12 +618,19 @@ class Processor:
     # ------------------------------------------------------------------
 
     def _invalidate_plan(self, index) -> None:
-        """Drop the compiled plan(s) for a rewritten IM slot."""
+        """Drop the compiled plan(s) for a rewritten IM slot.
+
+        Compiled traces span many slots and fold plan fields into
+        generated source, so any IM write drops the whole trace cache
+        (hot counts, blacklist and in-flight recordings included) --
+        simple, and trivially stale-proof.
+        """
         if isinstance(index, slice):
             for i in range(*index.indices(len(self._plans))):
                 self._plans[i] = None
         else:
             self._plans[index] = None
+        self._traces.invalidate_all()
 
     def _get_plan(self, pc: int, task: int) -> ExecutionPlan:
         """The slot's plan, compiling it on this first fetch."""
@@ -1252,6 +1340,9 @@ class Processor:
             regs.write_membase(task, b)
         elif ff == FF.ALUFM_WRITE:
             self.alu.write_alufm(inst.aluop, b)
+            # Compiled traces inline ALUFM semantics into generated
+            # code; rewriting an ALU operation drops them all.
+            self._traces.invalidate_all()
         elif ff == FF.BASE_LO_B:
             self.memory.translator.write_base_low(regs.read_membase(task), b)
         elif ff == FF.BASE_HI_B:

@@ -47,8 +47,9 @@ class Cache:
 
     def lookup(self, address: int) -> Optional[CacheLine]:
         """The line holding *address*, updating LRU, or None on miss."""
-        index, tag = self._locate(address)
-        for line in self.sets[index]:
+        munch = address // MUNCH_WORDS
+        tag = munch // self.num_sets
+        for line in self.sets[munch % self.num_sets]:
             if line.valid and line.tag == tag:
                 self._clock += 1
                 line.lru = self._clock

@@ -99,7 +99,8 @@ class AddressTranslator:
 
     def virtual_address(self, membase: int, displacement: int) -> int:
         """VA = base register + 16-bit displacement (section 6.3.2)."""
-        return (self.read_base(membase) + word(displacement)) & self._base_mask
+        bases = self.bases
+        return (bases[membase % len(bases)] + (displacement & 0xFFFF)) & self._base_mask
 
     # --- the page map --------------------------------------------------------
 

@@ -179,9 +179,10 @@ class MemorySystem:
             self._fault(FAULT_BOUNDS)
             self._complete_fault(ref)
             return True
-        if self.cache.contains(ra):
+        line = self.cache.lookup(ra)
+        if line is not None:
             self.counters.cache_hits += 1
-            value = self.cache.read_word(ra)
+            value = line.words[ra % MUNCH_WORDS]
             ready = self.now + self.config.cache_hit_cycles
         else:
             self.counters.cache_misses += 1
@@ -225,9 +226,11 @@ class MemorySystem:
             self._fault(FAULT_BOUNDS)
             self._complete_fault(ref)
             return True
-        if self.cache.contains(ra):
+        line = self.cache.lookup(ra)
+        if line is not None:
             self.counters.cache_hits += 1
-            self.cache.write_word(ra, data)
+            line.words[ra % MUNCH_WORDS] = word(data)
+            line.dirty = True
             ref.busy_until = self.now + 1
         else:
             self.counters.cache_misses += 1

@@ -1,13 +1,18 @@
-"""Core simulator speed: the execution-plan cache, before and after.
+"""Core simulator speed: the three execution tiers, side by side.
 
 ``python -m repro.perf.corebench`` times the cycle-stepped core on three
 representative workloads -- the E1 Mesa emulator loop, the E2 BitBlt
-inner loop, and the E4 fast-I/O display service -- once with the plan
-cache disabled (the interpretive reference) and once enabled (the
-PRODUCTION default), then writes ``BENCH_core.json`` with the
-cycles-per-second of each and the speedup.  The simulated cycle counts
-are asserted identical between the two runs, so the file doubles as a
-parity receipt.
+inner loop, and the E4 fast-I/O display service -- under all three
+cycle implementations: the interpretive reference (``INTERPRETED``),
+the decoded execution-plan path (``PLAN_ONLY``), and the compiled-trace
+tier that PRODUCTION layers on top (``repro.core.tracecache``).  It
+writes ``BENCH_core.json`` with the cycles-per-second of each and the
+tier-over-tier speedups.  Only the run phase is timed (see
+:func:`~repro.perf.measure.measure_staged_rate`): microcode assembly
+and machine building are identical across tiers and would otherwise
+dilute the comparison.  The simulated cycle counts are asserted
+identical across all three runs, so the file doubles as a parity
+receipt.
 
 The benchmark runs with no instrumentation-bus subscribers attached, so
 it also pins the bus's zero-cost guarantee: an idle bus leaves
@@ -29,42 +34,50 @@ import sys
 import time
 from typing import Callable, Dict, List
 
-from ..config import INTERPRETED, PRODUCTION, MachineConfig
+from ..config import INTERPRETED, PLAN_ONLY, PRODUCTION, MachineConfig
 from ..core.processor import Processor
 from ..asm.assembler import Assembler
 from ..graphics.bitblt import BitBltFunction, build_bitblt_machine, run_bitblt
 from ..graphics.bitmap import Bitmap
 from ..io.display import DisplayController, display_fast_microcode
 from ..types import MUNCH_WORDS
-from .measure import measure_simulation_rate
+from .measure import measure_staged_rate
 from .workloads import mesa_loop_sum
 
+#: Scenario factories return a *stage* callable: calling it builds a
+#: fresh machine and returns the zero-arg run callable that simulates
+#: and reports cycles.  ``measure_staged_rate`` times only the latter.
 
-def _e1_mesa_loop(config: MachineConfig) -> Callable[[], int]:
+
+def _e1_mesa_loop(config: MachineConfig) -> Callable[[], Callable[[], int]]:
     """E1: the byte-code emulator's load/store/branch loop."""
-    def scenario() -> int:
-        return mesa_loop_sum(200, config=config).run()
-    return scenario
+    def stage() -> Callable[[], int]:
+        workload = mesa_loop_sum(200, config=config)
+        return workload.run
+    return stage
 
 
-def _e2_bitblt(config: MachineConfig) -> Callable[[], int]:
+def _e2_bitblt(config: MachineConfig) -> Callable[[], Callable[[], int]]:
     """E2: the BitBlt inner loop (shift-and-merge at full tilt)."""
-    def scenario() -> int:
+    def stage() -> Callable[[], int]:
         cpu = build_bitblt_machine(config)
         src = Bitmap(cpu.memory, 0x2000, 31, 32)
         dst = Bitmap(cpu.memory, 0x8000, 30, 32)
         src.load_pattern()
         dst.fill(0)
-        return run_bitblt(
-            cpu, BitBltFunction.COPY, src_va=0x2000, dst_va=0x8000,
-            words_per_row=30, rows=32, src_pitch=31, dst_pitch=30, shift=5,
-        )
-    return scenario
+
+        def run() -> int:
+            return run_bitblt(
+                cpu, BitBltFunction.COPY, src_va=0x2000, dst_va=0x8000,
+                words_per_row=30, rows=32, src_pitch=31, dst_pitch=30, shift=5,
+            )
+        return run
+    return stage
 
 
-def _e4_fast_io(config: MachineConfig) -> Callable[[], int]:
+def _e4_fast_io(config: MachineConfig) -> Callable[[], Callable[[], int]]:
     """E4: the display's fast-I/O munch service, tasking included."""
-    def scenario() -> int:
+    def stage() -> Callable[[], int]:
         asm = Assembler(config)
         asm.emit(idle=True)
         display_fast_microcode(asm)
@@ -77,34 +90,52 @@ def _e4_fast_io(config: MachineConfig) -> Callable[[], int]:
         for i in range(munches * MUNCH_WORDS):
             cpu.memory.debug_write(0x4000 + i, i & 0xFFFF)
         display.begin_band(cpu, 0x4000, munches)
-        cpu.run_until(lambda m: display.done, max_cycles=200_000)
-        return cpu.counters.cycles
-    return scenario
+
+        def run() -> int:
+            cpu.run_until(lambda m: display.done, max_cycles=200_000)
+            return cpu.counters.cycles
+        return run
+    return stage
 
 
-SCENARIOS: Dict[str, Callable[[MachineConfig], Callable[[], int]]] = {
+SCENARIOS: Dict[str, Callable[[MachineConfig], Callable[[], Callable[[], int]]]] = {
     "E1_mesa_loop_sum": _e1_mesa_loop,
     "E2_bitblt_copy": _e2_bitblt,
     "E4_display_fast_io": _e4_fast_io,
 }
 
+#: The tiers a corebench row compares, slowest first.
+TIERS = (
+    ("interp", INTERPRETED),
+    ("plan", PLAN_ONLY),
+    ("traced", PRODUCTION),
+)
+
 
 def run_corebench(repeats: int = 3) -> Dict[str, dict]:
-    """Measure every scenario under both cycle implementations."""
+    """Measure every scenario under all three cycle implementations."""
     results: Dict[str, dict] = {}
     for name, make in SCENARIOS.items():
-        before = measure_simulation_rate(make(INTERPRETED), repeats=repeats)
-        after = measure_simulation_rate(make(PRODUCTION), repeats=repeats)
-        if before.cycles != after.cycles:
-            raise AssertionError(
-                f"{name}: plan cache changed the simulated cycle count "
-                f"({before.cycles} != {after.cycles})"
-            )
+        rates = {
+            tier: measure_staged_rate(make(config), repeats=repeats)
+            for tier, config in TIERS
+        }
+        before, after, traced = rates["interp"], rates["plan"], rates["traced"]
+        for tier in ("plan", "traced"):
+            if rates[tier].cycles != before.cycles:
+                raise AssertionError(
+                    f"{name}: the {tier} tier changed the simulated cycle "
+                    f"count ({before.cycles} != {rates[tier].cycles})"
+                )
         results[name] = {
             "simulated_cycles": after.cycles,
             "before_cycles_per_second": round(before.cycles_per_second),
             "after_cycles_per_second": round(after.cycles_per_second),
+            "traced_cycles_per_second": round(traced.cycles_per_second),
             "speedup": round(after.cycles_per_second / before.cycles_per_second, 2),
+            "traced_speedup": round(
+                traced.cycles_per_second / after.cycles_per_second, 2
+            ),
         }
     return results
 
@@ -223,9 +254,12 @@ def compare_to_baseline(
 
     Returns human-readable problem strings (empty = clean): a missing
     scenario, a simulated-cycle mismatch (a correctness change, never
-    acceptable), or a speedup below ``base * (1 - tolerance)`` (a perf
-    regression beyond timing noise).  Absolute cycles-per-second are
-    deliberately not compared -- they differ per host.
+    acceptable), or a plan or traced speedup below
+    ``base * (1 - tolerance)`` (a perf regression beyond timing noise).
+    Baselines that predate the traced tier simply lack its column and
+    skip that check -- old files stay usable.  Absolute
+    cycles-per-second are deliberately not compared -- they differ per
+    host.
     """
     problems: List[str] = []
     for name, base in baseline.items():
@@ -238,12 +272,15 @@ def compare_to_baseline(
                 f"{name}: simulated cycles changed "
                 f"({base['simulated_cycles']} -> {row['simulated_cycles']})"
             )
-        floor = base["speedup"] * (1.0 - tolerance)
-        if row["speedup"] < floor:
-            problems.append(
-                f"{name}: speedup regressed ({base['speedup']}x -> "
-                f"{row['speedup']}x, floor {floor:.2f}x)"
-            )
+        for column in ("speedup", "traced_speedup"):
+            if column not in base:
+                continue
+            floor = base[column] * (1.0 - tolerance)
+            if row[column] < floor:
+                problems.append(
+                    f"{name}: {column} regressed ({base[column]}x -> "
+                    f"{row[column]}x, floor {floor:.2f}x)"
+                )
     return problems
 
 
@@ -280,7 +317,8 @@ def main(argv=None) -> int:
     warm = run_warmstart_bench(repeats=args.repeats)
     supervised = run_supervised_bench(repeats=args.repeats)
     report = {
-        "benchmark": "core simulator cycle rate, plan cache off vs on",
+        "benchmark": "core simulator cycle rate across the three "
+                     "execution tiers (interp, plan, traced)",
         "host": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
@@ -294,11 +332,16 @@ def main(argv=None) -> int:
         f.write("\n")
 
     width = max(len(n) for n in results) + 2
-    print(f"{'workload':<{width}}{'before c/s':>12}{'after c/s':>12}{'speedup':>9}")
+    print(
+        f"{'workload':<{width}}{'interp c/s':>12}{'plan c/s':>12}"
+        f"{'traced c/s':>12}{'plan x':>8}{'traced x':>9}"
+    )
     for name, row in results.items():
         print(
             f"{name:<{width}}{row['before_cycles_per_second']:>12}"
-            f"{row['after_cycles_per_second']:>12}{row['speedup']:>8.2f}x"
+            f"{row['after_cycles_per_second']:>12}"
+            f"{row['traced_cycles_per_second']:>12}"
+            f"{row['speedup']:>7.2f}x{row['traced_speedup']:>8.2f}x"
         )
     print(
         f"warm start: cold build+run {warm['cold_seconds']*1e3:.1f} ms, "

@@ -65,6 +65,36 @@ def measure_simulation_rate(
     return best
 
 
+def measure_staged_rate(
+    stage: Callable[[], Callable[[], int]], repeats: int = 3
+) -> SimulationRate:
+    """Time only the *run* phase of a two-phase scenario.
+
+    *stage* builds a fresh machine (assembling microcode, loading
+    images, arming devices) and returns a zero-arg run callable that
+    simulates and returns the cycle count; only that callable is timed.
+    Build cost is identical whichever cycle implementation runs, so
+    excluding it keeps a tier comparison about the tiers -- corebench
+    reports build cost separately through its warm-start row.  Best of
+    *repeats*, each on a fresh machine.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+
+    def timed_run() -> SimulationRate:
+        run = stage()
+        start = time.perf_counter()
+        cycles = run()
+        return SimulationRate(cycles=cycles, seconds=time.perf_counter() - start)
+
+    best = timed_run()
+    for _ in range(repeats - 1):
+        candidate = timed_run()
+        if candidate.seconds < best.seconds:
+            best = candidate
+    return best
+
+
 @dataclass
 class OpcodeStats:
     """Accumulated cost of one opcode class."""

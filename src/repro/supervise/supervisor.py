@@ -243,6 +243,9 @@ class Supervisor:
             return
         cycle, diffs = report
         machine._plan_enabled = False
+        # The compiled-trace tier rides on the plan cache; a machine
+        # degraded to the interpreter must not keep executing traces.
+        machine._trace_enabled = False
         machine.counters.degrades += 1
         machine.instruments.publish("degrade", cycle, diffs)
         self.log.append({

@@ -1,13 +1,15 @@
-"""Differential lock-down of the execution-plan fast path.
+"""Differential lock-down of the fast execution tiers.
 
-The simulator has two cycle implementations: the interpretive reference
-(``plan_cache_enabled=False``, every microword field re-decoded each
-cycle) and the decoded execution-plan fast path that PRODUCTION uses.
-Every test here runs the same scenario under both configurations and
-requires bit-identical results -- architectural state, performance
-counters, cycle counts, and the whole storage image.  A property test
-interleaves microstore rewrites with stepping to prove plans never go
-stale.
+The simulator has three cycle implementations: the interpretive
+reference (every microword field re-decoded each cycle), the decoded
+execution-plan fast path (``PLAN_ONLY``), and the compiled-trace tier
+that PRODUCTION layers on top of the plans.  Every test here runs the
+same scenario under all three configurations and requires bit-identical
+results -- architectural state, performance counters, cycle counts,
+hold-cause attribution, the supervisor's ``architectural_json`` digest,
+and the whole storage image.  Property tests interleave microstore
+rewrites with stepping (plans) and free-running (traces) to prove
+neither cache ever goes stale.
 """
 
 import dataclasses
@@ -20,7 +22,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Assembler, Processor
-from repro.config import INTERPRETED, PRODUCTION, MachineConfig
+from repro.config import INTERPRETED, PLAN_ONLY, PRODUCTION, MachineConfig
 from repro.core.microword import (
     ASel,
     BSel,
@@ -29,14 +31,21 @@ from repro.core.microword import (
     NextControl,
     NextType,
 )
+from repro.core.tracecache import TraceCache
+from repro.fault.plan import FaultConfig
 from repro.graphics.bitblt import BitBltFunction, build_bitblt_machine, run_bitblt
 from repro.graphics.bitmap import Bitmap
 from repro.io.disk import DiskController, DiskGeometry, disk_microcode
 from repro.io.display import DisplayController, display_fast_microcode
 from repro.perf.workloads import ALL_WORKLOADS
+from repro.supervise import architectural_json
 from repro.types import MUNCH_WORDS
 
-CONFIGS = (("interp", INTERPRETED), ("plan", PRODUCTION))
+CONFIGS = (
+    ("interp", INTERPRETED),
+    ("plan", PLAN_ONLY),
+    ("traced", PRODUCTION),
+)
 
 
 def machine_state(cpu: Processor) -> dict:
@@ -68,11 +77,17 @@ def machine_state(cpu: Processor) -> dict:
 
 def assert_same_machine(cpu_a: Processor, cpu_b: Processor) -> None:
     assert machine_state(cpu_a) == machine_state(cpu_b)
+    assert architectural_json(cpu_a.snapshot()) == architectural_json(cpu_b.snapshot())
     assert cpu_a.memory.storage._data == cpu_b.memory.storage._data
 
 
+def assert_clean_traces(cpu: Processor) -> None:
+    """A traced-tier machine must never have abandoned a compile."""
+    assert cpu._traces.failures == []
+
+
 # --------------------------------------------------------------------------
-# Every benchmark workload, both configurations
+# Every benchmark workload, all three configurations
 # --------------------------------------------------------------------------
 
 @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
@@ -82,8 +97,65 @@ def test_workload_parity(name):
         workload = ALL_WORKLOADS[name](config=config)
         cycles = workload.run()
         runs[label] = (cycles, workload.ctx.cpu)
-    assert runs["plan"][0] == runs["interp"][0], "cycle counts diverged"
-    assert_same_machine(runs["plan"][1], runs["interp"][1])
+    assert_clean_traces(runs["traced"][1])
+    for label in ("plan", "traced"):
+        assert runs[label][0] == runs["interp"][0], (
+            f"{label} cycle count diverged from the reference"
+        )
+        # Hold-cause attribution is part of the counters, but call it
+        # out on its own: a trace that mis-charges a held cycle shows
+        # up here with a readable diff.
+        assert (
+            runs[label][1].counters.hold_causes
+            == runs["interp"][1].counters.hold_causes
+        )
+        assert_same_machine(runs[label][1], runs["interp"][1])
+
+
+# --------------------------------------------------------------------------
+# A seeded fault plan under all three tiers
+# --------------------------------------------------------------------------
+
+#: Correctable storage errors are absorbed by ECC -- the workload still
+#: verifies -- but the injector must fire on the same references and
+#: bump the same counters on every tier.  ``last_cycle=0`` arms both
+#: events immediately so they hit the workload's first storage reads.
+_CORRECTABLE = FaultConfig(seed=9, storage_correctable=2, last_cycle=0)
+
+#: Spurious map faults latch a fault the workload's microcode never
+#: handles, so the run ends with a wrong result; all three tiers must
+#: still agree on every bit of the wreckage (traces bail out to the
+#: plan interpreter the moment the fault latch rises).
+_FAULTING = FaultConfig(seed=9, storage_correctable=4, map_faults=2, last_cycle=3000)
+
+
+def test_fault_plan_parity_verified():
+    runs = {}
+    for label, config in CONFIGS:
+        faulted = dataclasses.replace(config, fault_injection=_CORRECTABLE)
+        workload = ALL_WORKLOADS["lisp_cons_kernel"](config=faulted)
+        cycles = workload.run()
+        runs[label] = (cycles, workload.ctx.cpu)
+    assert runs["interp"][1].counters.faults_injected > 0
+    assert_clean_traces(runs["traced"][1])
+    for label in ("plan", "traced"):
+        assert runs[label][0] == runs["interp"][0]
+        assert_same_machine(runs[label][1], runs["interp"][1])
+
+
+def test_fault_plan_parity_latched():
+    runs = {}
+    for label, config in CONFIGS:
+        faulted = dataclasses.replace(config, fault_injection=_FAULTING)
+        workload = ALL_WORKLOADS["mesa_loop_sum"](config=faulted)
+        # Run the machine directly: verification would (rightly) fail.
+        cycles = workload.ctx.run(max_cycles=200_000)
+        runs[label] = (cycles, workload.ctx.cpu)
+    assert runs["interp"][1].memory.fault_flags, "fault never latched"
+    assert_clean_traces(runs["traced"][1])
+    for label in ("plan", "traced"):
+        assert runs[label][0] == runs["interp"][0]
+        assert_same_machine(runs[label][1], runs["interp"][1])
 
 
 # --------------------------------------------------------------------------
@@ -109,9 +181,10 @@ def _bitblt_run(config: MachineConfig):
 
 def test_bitblt_parity():
     cycles_i, cpu_i = _bitblt_run(INTERPRETED)
-    cycles_p, cpu_p = _bitblt_run(PRODUCTION)
-    assert cycles_i == cycles_p
-    assert_same_machine(cpu_i, cpu_p)
+    for _, config in CONFIGS[1:]:
+        cycles, cpu = _bitblt_run(config)
+        assert cycles == cycles_i
+        assert_same_machine(cpu, cpu_i)
 
 
 def _disk_run(config: MachineConfig):
@@ -134,7 +207,9 @@ def _disk_run(config: MachineConfig):
 
 
 def test_disk_parity():
-    assert_same_machine(_disk_run(INTERPRETED), _disk_run(PRODUCTION))
+    cpu_i = _disk_run(INTERPRETED)
+    for _, config in CONFIGS[1:]:
+        assert_same_machine(_disk_run(config), cpu_i)
 
 
 def _display_run(config: MachineConfig, explicit_notify: bool):
@@ -160,27 +235,29 @@ def _display_run(config: MachineConfig, explicit_notify: bool):
 @pytest.mark.parametrize("explicit_notify", [False, True])
 def test_display_parity(explicit_notify):
     cpu_i = _display_run(INTERPRETED, explicit_notify)
-    cpu_p = _display_run(PRODUCTION, explicit_notify)
-    assert_same_machine(cpu_i, cpu_p)
+    for _, config in CONFIGS[1:]:
+        assert_same_machine(_display_run(config, explicit_notify), cpu_i)
 
 
 # --------------------------------------------------------------------------
-# Every example program, plan cache on versus off
+# Every example program, across the execution tiers
 # --------------------------------------------------------------------------
 
 EXAMPLES = sorted(
     (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
 )
 
-# Re-runs the example with every Processor forced onto the interpretive
-# path, whatever configuration the script itself chose.
-_FORCE_INTERP = """
+# Re-runs the example with every Processor forced onto a slower tier,
+# whatever configuration the script itself chose.
+_FORCE_TIER = """
 import runpy, sys
 from repro.core.processor import Processor
 _orig_init = Processor.__init__
 def _init(self, *args, **kwargs):
     _orig_init(self, *args, **kwargs)
-    self._plan_enabled = False
+    self._trace_enabled = False
+    if "{tier}" == "interp":
+        self._plan_enabled = False
 Processor.__init__ = _init
 script = sys.argv[1]
 sys.argv = [script]
@@ -194,12 +271,13 @@ def test_example_parity(script):
         [sys.executable, str(script)], capture_output=True, text=True, timeout=300
     )
     assert fast.returncode == 0, fast.stdout + fast.stderr
-    slow = subprocess.run(
-        [sys.executable, "-c", _FORCE_INTERP, str(script)],
-        capture_output=True, text=True, timeout=300,
-    )
-    assert slow.returncode == 0, slow.stdout + slow.stderr
-    assert fast.stdout == slow.stdout
+    for tier in ("plan", "interp"):
+        slow = subprocess.run(
+            [sys.executable, "-c", _FORCE_TIER.format(tier=tier), str(script)],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert slow.returncode == 0, slow.stdout + slow.stderr
+        assert fast.stdout == slow.stdout, f"{tier} tier output diverged"
 
 
 # --------------------------------------------------------------------------
@@ -291,6 +369,86 @@ def test_no_stale_decode_under_rewrites(actions):
         assert _light_state(fast) == _light_state(slow)
 
 
+# --------------------------------------------------------------------------
+# ... and never a stale compiled trace either
+# --------------------------------------------------------------------------
+
+def _hot_twin_machines():
+    """PRODUCTION vs INTERPRETED twins with a hair-trigger trace cache.
+
+    The default hot threshold needs several trips around the ring before
+    a trace exists; dropping it to 2 means nearly every ``run()`` below
+    executes generated code, so a missed invalidation diverges fast.
+    """
+    fast, slow = _twin_machines()
+    fast._traces = TraceCache(fast, hot_threshold=2)
+    return fast, slow
+
+
+_trace_action = st.one_of(
+    st.tuples(st.just("run"), st.integers(1, 80)),
+    st.tuples(st.just("console"), st.integers(0, RING - 1), st.integers(0, 0x1FF)),
+    st.tuples(st.just("direct"), st.integers(0, RING - 1), st.integers(0, 0x1FF)),
+    st.tuples(st.just("slice"), st.integers(0, RING - 1), st.integers(0, 0x1FF)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_trace_action, min_size=1, max_size=30))
+def test_no_stale_trace_under_rewrites(actions):
+    """Random mid-run IM pokes through every write path drop traces.
+
+    Traces only execute inside ``run()``, so the machines free-run in
+    matched bursts instead of stepping.  Any write path that failed to
+    invalidate -- direct item assignment, slice assignment, or the
+    console's staging registers -- would leave compiled code that still
+    encodes the old microword, and the lockstep check would catch it on
+    the next burst.
+    """
+    fast, slow = _hot_twin_machines()
+    for action in actions:
+        if action[0] == "run":
+            fast.run(max_cycles=action[1])
+            slow.run(max_cycles=action[1])
+        else:
+            _, slot, data = action
+            inst = _ring_inst(data, (slot + 1) % RING)
+            if action[0] == "direct":
+                fast.im[slot] = inst
+                slow.im[slot] = inst
+            elif action[0] == "slice":
+                fast.im[slot:slot + 1] = [inst]
+                slow.im[slot:slot + 1] = [inst]
+            else:
+                bits = inst.encode()
+                for cpu in (fast, slow):
+                    console = cpu.console
+                    console.latch_im_address(slot)
+                    console.im_write_low(bits & 0xFFFF)
+                    console.im_write_mid((bits >> 16) & 0xFFFF)
+                    console.im_write_high(bits >> 32, cpu.im)
+        assert _light_state(fast) == _light_state(slow)
+    assert_clean_traces(fast)
+
+
+def test_trace_property_is_not_vacuous():
+    """The ring actually compiles to a trace at the lowered threshold."""
+    fast, slow = _hot_twin_machines()
+    fast.run(max_cycles=200)
+    slow.run(max_cycles=200)
+    assert _light_state(fast) == _light_state(slow)
+    assert fast._traces.traces, "ring never became hot -- property is vacuous"
+    assert fast._traces.entries > 0
+    # A rewrite through each path empties the whole cache.
+    fast.im[3] = _ring_inst(0o123, 4)
+    slow.im[3] = _ring_inst(0o123, 4)
+    assert not fast._traces.traces
+    fast.run(max_cycles=200)
+    slow.run(max_cycles=200)
+    assert _light_state(fast) == _light_state(slow)
+    assert_clean_traces(fast)
+
+
 def _loop_loading_t(cpu: Processor, value: int) -> None:
     """Slots 0..1: load T with *value*, forever."""
     cpu.im[0] = MicroInstruction(
@@ -343,8 +501,23 @@ def test_slice_im_write_invalidates_plans():
     assert cpu.regs.t[0] == 11
 
 
+def test_im_write_invalidates_hot_trace():
+    """The T-loop, run hot enough to trace, then rewritten mid-run."""
+    cpu = Processor(PRODUCTION)
+    cpu._traces = TraceCache(cpu, hot_threshold=2)
+    _loop_loading_t(cpu, 5)
+    cpu.run(max_cycles=40)
+    assert cpu.regs.t[0] == 5
+    assert cpu._traces.traces
+    _loop_loading_t(cpu, 7)
+    assert not cpu._traces.traces
+    cpu.run(max_cycles=8)
+    assert cpu.regs.t[0] == 7
+    assert_clean_traces(cpu)
+
+
 # --------------------------------------------------------------------------
-# SHIFTCTL decodes exactly once per shift instruction, on both paths
+# SHIFTCTL decodes exactly once per shift instruction, on all paths
 # --------------------------------------------------------------------------
 
 @pytest.mark.parametrize("label,config", CONFIGS)

@@ -12,11 +12,35 @@ Mbit/s, E4 fast-I/O occupancy 25%, E5 grain 25%/37.5%).
 
 import pytest
 
+from repro.config import INTERPRETED, PLAN_ONLY, PRODUCTION
+from repro.perf.corebench import SCENARIOS
 from repro.perf.report import experiment_e2, experiment_e4, experiment_e5
 
 
 def _measured(rows):
     return {metric: measured for metric, _paper, measured in rows}
+
+
+#: The corebench scenarios' simulated cycle counts, pinned exactly.
+#: These are the denominators of every BENCH_core.json rate; a fast
+#: tier that shifts one is a correctness bug, not an optimization.
+COREBENCH_CYCLES = {
+    "E1_mesa_loop_sum": 4807,
+    "E2_bitblt_copy": 9508,
+    "E4_display_fast_io": 1041,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize(
+    "tier,config",
+    [("interp", INTERPRETED), ("plan", PLAN_ONLY), ("traced", PRODUCTION)],
+)
+def test_corebench_simulated_cycles_golden(name, tier, config):
+    stage = SCENARIOS[name](config)
+    assert stage()() == COREBENCH_CYCLES[name], (
+        f"{name} on the {tier} tier drifted from the pinned cycle count"
+    )
 
 
 def test_e2_bitblt_bandwidth_golden():

@@ -326,6 +326,17 @@ def test_cli_rejects_observers_without_workload(capsys):
     assert "--workload" in capsys.readouterr().err
 
 
+def test_cli_no_trace_runs_plan_only(capsys):
+    from repro.__main__ import main
+
+    rc = main(["--workload", "mesa_loop_sum", "--no-trace"])
+    assert rc == 0
+    assert "4807 cycles, verified" in capsys.readouterr().out
+    with pytest.raises(SystemExit):
+        main(["--no-trace"])
+    assert "--workload" in capsys.readouterr().err
+
+
 def test_cli_saves_and_loads_machine_state(tmp_path, capsys):
     from repro.__main__ import main
 
@@ -361,6 +372,8 @@ def test_corebench_runs_with_identical_cycle_counts():
     for row in results.values():
         assert row["simulated_cycles"] > 0
         assert row["speedup"] > 0
+        assert row["traced_speedup"] > 0
+        assert row["traced_cycles_per_second"] > 0
 
 
 def test_corebench_cli_writes_report_and_checks_baseline(tmp_path, capsys):
@@ -408,3 +421,17 @@ def test_compare_to_baseline_flags_regressions():
     assert any("cycles changed" in p for p in problems)
     assert any("regressed" in p for p in problems)
     assert any("missing" in p for p in problems)
+
+
+def test_compare_to_baseline_checks_traced_tier():
+    base = {"E2": {"simulated_cycles": 200, "speedup": 4.0, "traced_speedup": 3.0}}
+    good = {"E2": {"simulated_cycles": 200, "speedup": 4.0, "traced_speedup": 2.2}}
+    assert compare_to_baseline(good, base, tolerance=0.35) == []
+
+    bad = {"E2": {"simulated_cycles": 200, "speedup": 4.0, "traced_speedup": 1.5}}
+    problems = compare_to_baseline(bad, base, tolerance=0.35)
+    assert problems and "traced_speedup regressed" in problems[0]
+
+    # A baseline written before the traced tier existed skips its check.
+    old_base = {"E2": {"simulated_cycles": 200, "speedup": 4.0}}
+    assert compare_to_baseline(bad, old_base, tolerance=0.35) == []

@@ -180,6 +180,75 @@ def test_fork_replays_workload_to_same_result():
     assert cpu.snapshot().to_json() == clone.snapshot().to_json()
 
 
+# --- warm compiled-trace caches (DESIGN.md section 5.6) ----------------------
+
+
+def _warm_traced_machine():
+    """A PRODUCTION machine run long enough to be executing traces."""
+    from repro.core.tracecache import TraceCache
+
+    cpu = mesa_loop_sum(60, config=PRODUCTION).ctx.cpu
+    cpu._traces = TraceCache(cpu, hot_threshold=2)
+    cpu.run(1200)
+    assert cpu._traces.traces, "machine never got hot"
+    assert cpu._traces.entries > 0
+    return cpu
+
+
+def test_restore_with_warm_trace_cache_replays_byte_identically():
+    """Snapshot and restore around a hot trace cache stay bit-exact.
+
+    Compiled traces are derived state: the snapshot must not carry
+    them, restore must drop them, and the replay -- which re-detects
+    and re-compiles the same hot regions -- must land on the identical
+    architectural state and counters.
+    """
+    cpu = _warm_traced_machine()
+    mid = cpu.snapshot()
+    mid_json = mid.to_json()
+    cpu.run(800)
+    end_json = cpu.snapshot().to_json()
+    end_counters = cpu.counters.state_dict()
+
+    cpu.restore(mid)
+    assert not cpu._traces.traces, "restore left compiled traces behind"
+    assert cpu.snapshot().to_json() == mid_json
+    cpu.run(800)
+    assert cpu.snapshot().to_json() == end_json
+    assert cpu.counters.state_dict() == end_counters
+    assert cpu._traces.traces, "replay never re-warmed"
+    assert cpu._traces.failures == []
+
+
+def test_fork_shares_no_trace_closures():
+    """A clone never inherits the parent's compiled closures.
+
+    Generated trace code captures the *parent's* register files and
+    memory pipeline in its closure; executing it on the clone would
+    silently mutate the parent.  fork() must hand the clone an empty,
+    private cache.
+    """
+    cpu = _warm_traced_machine()
+    clone = cpu.fork()
+    assert clone._traces is not cpu._traces
+    assert clone._traces.traces == {}
+    assert clone._traces.counts == {}
+    assert clone._traces._rec_key is None
+    # The parent's cache also resets: its recorded hot counts would be
+    # stale relative to the snapshot point anyway.
+    at_fork = clone.snapshot().to_json()
+    first = cpu.run(100_000)
+    assert cpu.halted
+    # The parent ran traces to completion; the clone must not have moved.
+    assert clone.snapshot().to_json() == at_fork
+    second = clone.run(100_000)
+    assert (first, cpu.halted) == (second, clone.halted)
+    assert cpu.snapshot().to_json() == clone.snapshot().to_json()
+    assert clone._traces.traces, "clone never re-warmed on its own"
+    assert clone._traces.traces is not cpu._traces.traces
+    assert clone._traces.failures == []
+
+
 # --- boot() residue (the re-boot satellite) ----------------------------------
 
 
