@@ -1,0 +1,36 @@
+"""E16: the scenario-matrix harness itself (cell execution + fan-out)."""
+
+from repro.exp import ExperimentMatrix, ScenarioSpec, clear_boot_cache, execute_cell
+from repro.perf import report
+
+from conftest import report_rows
+
+
+def test_e16_report(benchmark):
+    rows = benchmark(report.experiment_matrix_ablation)
+    report_rows("E16 scenario-matrix ablation", rows)
+    values = {metric: measured for metric, _, measured in rows}
+    assert values["Matrix verdict"] == "passed"
+
+
+def test_kernel_matrix_inline(benchmark):
+    """The kernel grid end to end: product, run, evaluate, aggregate."""
+
+    def run():
+        return ExperimentMatrix.cartesian(
+            "bench",
+            workloads=("bypass_kernel", "bypass_kernel_padded"),
+            variants=("production", "model0"),
+        ).run()
+
+    result = benchmark(run)
+    assert result["passed"]
+
+
+def test_clean_cell_with_boot_cache(benchmark):
+    """One clean cell re-executed on forks of a cached pristine boot."""
+    clear_boot_cache()
+    spec = ScenarioSpec.clean("bypass_kernel", "production")
+    execute_cell(spec)  # populate the cache outside the timed region
+    measurements = benchmark(lambda: execute_cell(spec))
+    assert measurements["cycles"] > 0

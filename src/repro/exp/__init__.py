@@ -1,0 +1,95 @@
+"""Scenario-matrix experiment harness.
+
+Workloads x machine configs x fault plans, fanned out over worker
+processes that boot from shared snapshots, with pluggable evaluators
+asserting the machine's invariants (three-tier cycle parity, golden
+cycle pins, supervised-recovery convergence) on every cell and
+canonical-JSON result artifacts that reproduce byte-identically.
+
+Run one from the command line::
+
+    python -m repro.exp run demo --workers 4 --output demo.json
+"""
+
+from .campaigns import (
+    DEMO_FAULT_TEMPLATE,
+    MATRICES,
+    ablation_matrix,
+    demo_matrix,
+    monte_carlo_matrix,
+)
+from .configs import (
+    CONFIG_VARIANTS,
+    TIER_NAMES,
+    ConfigVariant,
+    config_hash,
+    hash_payload,
+    tier_configs,
+    variant,
+)
+from .evaluate import (
+    EVALUATORS,
+    ConvergenceEvaluator,
+    Evaluator,
+    GoldenPinEvaluator,
+    HoldAccountingEvaluator,
+    TierParityEvaluator,
+    default_evaluators,
+)
+from .kernels import bypass_kernel, bypass_kernel_padded
+from .matrix import (
+    WORKLOAD_DEFS,
+    ExperimentMatrix,
+    WorkloadDef,
+    clear_boot_cache,
+    derive_seed,
+    execute_cell,
+)
+from .results import (
+    aggregate,
+    canonical_dumps,
+    diff_results,
+    format_ablation_table,
+    format_summary,
+    load_result,
+    save_result,
+)
+from .scenario import ScenarioSpec
+
+__all__ = [
+    "CONFIG_VARIANTS",
+    "ConfigVariant",
+    "ConvergenceEvaluator",
+    "DEMO_FAULT_TEMPLATE",
+    "EVALUATORS",
+    "Evaluator",
+    "ExperimentMatrix",
+    "GoldenPinEvaluator",
+    "HoldAccountingEvaluator",
+    "MATRICES",
+    "ScenarioSpec",
+    "TIER_NAMES",
+    "TierParityEvaluator",
+    "WORKLOAD_DEFS",
+    "WorkloadDef",
+    "ablation_matrix",
+    "aggregate",
+    "bypass_kernel",
+    "bypass_kernel_padded",
+    "canonical_dumps",
+    "clear_boot_cache",
+    "config_hash",
+    "default_evaluators",
+    "demo_matrix",
+    "derive_seed",
+    "diff_results",
+    "execute_cell",
+    "format_ablation_table",
+    "format_summary",
+    "hash_payload",
+    "load_result",
+    "monte_carlo_matrix",
+    "save_result",
+    "tier_configs",
+    "variant",
+]

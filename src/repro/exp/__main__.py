@@ -1,0 +1,172 @@
+"""Command-line front end for the experiment matrix.
+
+::
+
+    python -m repro.exp list
+    python -m repro.exp run demo --workers 4 --output demo.json
+    python -m repro.exp run monte_carlo --seeds 100 --workers 8
+    python -m repro.exp report demo.json
+    python -m repro.exp diff demo.json demo-rerun.json
+
+``run`` exits nonzero when any cell or check fails, so a matrix run is
+usable directly as a CI gate.  Golden cycle pins are loaded from
+``tests/goldens.json`` (the ``matrix_cycles`` section) when present;
+``--goldens`` points elsewhere and ``--no-goldens`` skips the pins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from .campaigns import MATRICES
+from .configs import CONFIG_VARIANTS
+from .matrix import WORKLOAD_DEFS
+from .results import (
+    canonical_dumps,
+    diff_results,
+    format_summary,
+    load_result,
+    save_result,
+)
+
+
+def _default_goldens_path() -> Optional[str]:
+    """Find ``tests/goldens.json`` next to the repo or under the cwd."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidates = [
+        os.path.join(os.getcwd(), "tests", "goldens.json"),
+        # src/repro/exp -> repo root
+        os.path.normpath(os.path.join(here, "..", "..", "..",
+                                      "tests", "goldens.json")),
+    ]
+    for path in candidates:
+        if os.path.exists(path):
+            return path
+    return None
+
+
+def _load_pins(path: Optional[str]) -> Optional[Dict[str, int]]:
+    if path is None:
+        return None
+    with open(path) as f:
+        data = json.load(f)
+    return data.get("matrix_cycles", {})
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("matrices:")
+    for name in sorted(MATRICES):
+        matrix = MATRICES[name]()
+        print(f"  {name:<14} {len(matrix.cells)} cells, "
+              f"{len(matrix.excluded)} excluded, hash {matrix.hash}")
+    print("config variants:")
+    for name in sorted(CONFIG_VARIANTS):
+        v = CONFIG_VARIANTS[name]
+        print(f"  {name:<14} {v.hash}  {v.description}")
+    print("workloads:")
+    for name in sorted(WORKLOAD_DEFS):
+        wdef = WORKLOAD_DEFS[name]
+        safe = "model0-safe" if wdef.model0_safe else "requires bypass"
+        print(f"  {name:<22} {safe}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    factory = MATRICES.get(args.matrix)
+    if factory is None:
+        print(f"unknown matrix {args.matrix!r} "
+              f"(known: {', '.join(sorted(MATRICES))})", file=sys.stderr)
+        return 2
+    kwargs: Dict[str, Any] = {"seed": args.seed}
+    if args.matrix == "monte_carlo":
+        kwargs["seeds"] = args.seeds
+    matrix = factory(**kwargs)
+    if args.describe:
+        print(canonical_dumps(matrix.describe()), end="")
+        return 0
+    goldens_path = args.goldens
+    if goldens_path is None and not args.no_goldens:
+        goldens_path = _default_goldens_path()
+    pins = None if args.no_goldens else _load_pins(goldens_path)
+    result = matrix.run(workers=args.workers, goldens=pins)
+    if args.output:
+        save_result(result, args.output)
+        print(f"wrote {args.output}")
+    print(format_summary(result))
+    return 0 if result["passed"] else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result = load_result(args.path)
+    print(format_summary(result))
+    return 0 if result.get("passed") else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    problems = diff_results(load_result(args.first), load_result(args.second))
+    if not problems:
+        print("results are behaviourally identical")
+        return 0
+    for line in problems:
+        print(line)
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp",
+        description="Scenario-matrix experiment harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list matrices, variants, workloads")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run a named matrix")
+    p_run.add_argument("matrix", help=f"one of: {', '.join(sorted(MATRICES))}")
+    p_run.add_argument("--workers", type=int, default=0,
+                       help="worker processes (<=1 runs inline)")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="matrix master seed (default: the matrix's own)")
+    p_run.add_argument("--seeds", type=int, default=25,
+                       help="fault-seed count for monte_carlo")
+    p_run.add_argument("--output", "-o", help="write result artifact here")
+    p_run.add_argument("--goldens", help="golden pins JSON "
+                                         "(default: tests/goldens.json)")
+    p_run.add_argument("--no-goldens", action="store_true",
+                       help="skip golden-pin evaluation")
+    p_run.add_argument("--describe", action="store_true",
+                       help="print the matrix plan without running it")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser("report", help="summarize a result artifact")
+    p_report.add_argument("path")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_diff = sub.add_parser("diff", help="compare two result artifacts")
+    p_diff.add_argument("first")
+    p_diff.add_argument("second")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "seed", None) is None and hasattr(args, "seed"):
+        # let each matrix factory use its own default seed
+        import inspect
+
+        factory = MATRICES.get(getattr(args, "matrix", ""), None)
+        if factory is not None:
+            args.seed = inspect.signature(factory).parameters["seed"].default
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

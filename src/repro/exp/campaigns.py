@@ -1,0 +1,109 @@
+"""Predefined matrices: the grids the CLI and tests run by name.
+
+Three shapes cover the harness's jobs:
+
+* ``demo`` -- the acceptance grid: three gold workloads x three machine
+  features x {clean, one seeded fault plan}.  Every clean cell proves
+  three-tier cycle parity and its golden pin; every faulted cell runs
+  supervised and must converge byte-identically to its clean
+  counterpart.
+* ``ablation`` -- clean cells only, wider: emulator workloads across
+  the timing ablations plus the bypass kernels against the Model 0,
+  regenerating the paper's section-7-style feature table from matrix
+  cells instead of hand-wired report code.
+* ``monte_carlo`` -- one workload, one clean reference cell, N faulted
+  cells with derived seeds: the recovery-rate campaign.  ``--seeds
+  1000`` turns it into the thousand-seed supervisor soak.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .matrix import ExperimentMatrix, derive_seed
+from .scenario import ScenarioSpec
+
+#: The demo fault plan template: one uncorrectable storage error plus
+#: one spurious map fault early in the run -- each fatal unsupervised,
+#: both recovered by rollback-and-replay.  ``last_cycle`` sits inside
+#: every demo workload's span so the events always fire.
+DEMO_FAULT_TEMPLATE: Dict[str, Any] = {
+    "storage_uncorrectable": 1,
+    "map_faults": 1,
+    "first_cycle": 0,
+    "last_cycle": 1500,
+}
+
+DEMO_WORKLOADS = ("mesa_loop_sum", "bcpl_loop_sum", "lisp_list_sum")
+DEMO_VARIANTS = ("production", "small_cache", "ifu_slow")
+
+
+def demo_matrix(seed: int = 11) -> ExperimentMatrix:
+    """3 workloads x 3 configs x {clean, seeded faults}: 18 cells."""
+    return ExperimentMatrix.cartesian(
+        "demo",
+        workloads=DEMO_WORKLOADS,
+        variants=DEMO_VARIANTS,
+        plans=(None, DEMO_FAULT_TEMPLATE),
+        seed=seed,
+    )
+
+
+def ablation_matrix(seed: int = 7) -> ExperimentMatrix:
+    """The section-7 feature grid, clean cells only.
+
+    The emulator workloads sweep the timing ablations; the bypass
+    kernels sweep production versus Model 0 (the unpadded kernel's
+    Model 0 cell is excluded -- visibly -- because its microcode
+    requires bypass paths, which is the paper's point).
+    """
+    emulators = ExperimentMatrix.cartesian(
+        "ablation",
+        workloads=("mesa_loop_sum", "bcpl_loop_sum", "lisp_list_sum",
+                   "mesa_fib", "smalltalk_counter"),
+        variants=("production", "small_cache", "ifu_slow", "grain3"),
+        plans=(None,),
+        seed=seed,
+    )
+    kernels = ExperimentMatrix.cartesian(
+        "ablation_kernels",
+        workloads=("bypass_kernel", "bypass_kernel_padded"),
+        variants=("production", "model0"),
+        plans=(None,),
+        seed=seed,
+    )
+    return ExperimentMatrix(
+        "ablation",
+        emulators.cells + kernels.cells,
+        seed=seed,
+        excluded=emulators.excluded + kernels.excluded,
+    )
+
+
+def monte_carlo_matrix(
+    seed: int = 97,
+    seeds: int = 25,
+    workload: str = "mesa_loop_sum",
+    variant: str = "production",
+    fault: Optional[Dict[str, Any]] = None,
+) -> ExperimentMatrix:
+    """One clean reference plus *seeds* faulted runs of one workload."""
+    template = dict(fault or DEMO_FAULT_TEMPLATE)
+    cells = [ScenarioSpec.clean(workload, variant)]
+    cells.extend(
+        ScenarioSpec.faulted(
+            workload, variant, template,
+            seed=derive_seed(seed, workload, variant, index),
+        )
+        for index in range(seeds)
+    )
+    return ExperimentMatrix("monte_carlo", cells, seed=seed)
+
+
+#: Named matrices for ``python -m repro.exp run <name>`` and tests.
+#: Each factory takes ``seed`` (and ``monte_carlo`` also ``seeds``).
+MATRICES: Dict[str, Callable[..., ExperimentMatrix]] = {
+    "demo": demo_matrix,
+    "ablation": ablation_matrix,
+    "monte_carlo": monte_carlo_matrix,
+}

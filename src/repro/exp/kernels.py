@@ -1,0 +1,101 @@
+"""Microcode kernel workloads for ablations the emulators cannot run.
+
+The byte-code emulator workloads assume the Model 1's bypass paths:
+their microcode reads registers written by the immediately preceding
+instruction, which on the Model 0 silently delivers stale values
+(section 5.6).  The bypass ablation therefore needs its own workloads,
+written the way Model 0 microcoders had to write: a *padded* kernel
+inserts an independent instruction after every dependent write and runs
+correctly on both machines, while the *unpadded* kernel is the Model 1
+idiom that the matrix may only pair with bypass-enabled variants.
+
+Both kernels compute the same dependent-accumulate chain
+``acc = 2*acc + 1`` and trace the result, so a stale read anywhere in
+the chain changes the traced value and fails verification -- the
+oracle is architectural, not just "it halted".
+"""
+
+from __future__ import annotations
+
+from ..asm.assembler import Assembler
+from ..config import PRODUCTION, MachineConfig
+from ..core.functions import FF
+from ..core.processor import Processor
+from ..perf.workloads import Workload
+
+
+class KernelContext:
+    """The slice of :class:`~repro.emulators.isa.EmulatorContext` a raw
+    microcode workload needs: the machine, run, and halt status.  The
+    ``cpu`` attribute is read late everywhere (including the verify
+    closures), so the matrix runner can swap in a
+    :meth:`~repro.core.processor.Processor.fork` of a cached boot.
+    """
+
+    def __init__(self, cpu: Processor) -> None:
+        self.cpu = cpu
+
+    def run(self, max_cycles: int = 2_000_000) -> int:
+        return self.cpu.run(max_cycles)
+
+    @property
+    def halted(self) -> bool:
+        return self.cpu.halted
+
+
+def _build_bypass_kernel(
+    iters: int, padded: bool, config: MachineConfig, name: str
+) -> Workload:
+    asm = Assembler(config)
+    asm.register("acc", 1)
+    asm.emit(r="acc", b=0, alu="B", load="RM")
+    asm.emit(count=iters - 1)
+    asm.label("loop")
+    if padded:
+        # The loop-top spacer: the branch target must not read the RM
+        # value the loop-closing INC just wrote.
+        asm.emit()
+    asm.emit(r="acc", a="RM", b="RM", alu="ADD", load="RM")  # acc += acc
+    if padded:
+        asm.emit()  # the spacer Model 0 microcoders had to insert
+    asm.emit(r="acc", a="RM", alu="INC", load="RM",
+             branch=("COUNT", "loop", "done"))
+    asm.label("done")
+    if padded:
+        asm.emit()  # TRACE reads the INC's result one instruction later
+    asm.emit(r="acc", b="RM", ff=FF.TRACE)
+    asm.halt()
+    cpu = Processor(config)
+    cpu.load_image(asm.assemble())
+    ctx = KernelContext(cpu)
+
+    acc = 0
+    for _ in range(iters):
+        acc = (2 * acc + 1) & 0xFFFF
+    expected = acc
+    return Workload(name, ctx, lambda: ctx.cpu.console.trace == [expected])
+
+
+def bypass_kernel(
+    iters: int = 12, config: MachineConfig = PRODUCTION
+) -> Workload:
+    """The Model 1 idiom: back-to-back dependent writes, no padding.
+
+    Only correct on bypass-enabled configs; the matrix must not pair it
+    with the Model 0.
+    """
+    return _build_bypass_kernel(iters, padded=False, config=config,
+                                name="bypass_kernel")
+
+
+def bypass_kernel_padded(
+    iters: int = 12, config: MachineConfig = PRODUCTION
+) -> Workload:
+    """The Model 0 idiom: every dependent use-after-write is padded.
+
+    Correct on both machines; paired with ``bypass_kernel`` on the
+    production variant it reproduces the paper's E8 ablation from
+    matrix cells.
+    """
+    return _build_bypass_kernel(iters, padded=True, config=config,
+                                name="bypass_kernel_padded")

@@ -1,0 +1,372 @@
+"""The experiment matrix: cartesian product, fan-out, measurement.
+
+An :class:`ExperimentMatrix` owns a list of :class:`~repro.exp.scenario.
+ScenarioSpec` cells -- usually the cartesian product of gold workloads
+x config variants x fault plans (:meth:`ExperimentMatrix.cartesian`),
+with incompatible pairs (unpadded emulator microcode on the bypass-less
+Model 0) excluded explicitly, never silently: the exclusions are part
+of the matrix identity and the artifact.
+
+Running the matrix fans cells out across worker processes.  Each worker
+keeps a *boot cache*: the first cell needing a (workload, args, config)
+machine builds and boots it once, and every later run of that pair
+starts from a :meth:`~repro.core.processor.Processor.fork` of the
+pristine boot -- a shared-snapshot seeded fork, so microcode assembly
+is paid once per worker, not once per cell.  A cell that raises is
+recorded as a *failed cell* in the result, never a hung or aborted
+matrix.
+
+Measurements are exclusively simulated quantities (cycles, counters,
+architectural-state hashes) -- no wall clock, no host names -- so a
+rerun of the same matrix with the same seed assembles a byte-identical
+result artifact regardless of worker count or scheduling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import MachineConfig
+from ..core.counters import HOLD_CAUSE_NAMES
+from ..errors import DoradoError
+from ..perf.workloads import ALL_WORKLOADS, Workload
+from .configs import TIER_NAMES, config_hash, tier_configs, variant
+from .kernels import bypass_kernel, bypass_kernel_padded
+from .scenario import ScenarioSpec
+
+
+# --------------------------------------------------------------------------
+# the workload registry
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadDef:
+    """A gold workload the matrix can schedule.
+
+    ``model0_safe`` declares that the workload's microcode pads every
+    dependent use-after-write and therefore runs correctly without
+    bypass paths; the emulator workloads are written in the Model 1
+    idiom and are not.
+    """
+
+    name: str
+    build: Callable[..., Workload]
+    model0_safe: bool = False
+
+
+WORKLOAD_DEFS: Dict[str, WorkloadDef] = {
+    **{
+        name: WorkloadDef(name, factory, model0_safe=False)
+        for name, factory in ALL_WORKLOADS.items()
+    },
+    "bypass_kernel": WorkloadDef("bypass_kernel", bypass_kernel,
+                                 model0_safe=False),
+    "bypass_kernel_padded": WorkloadDef(
+        "bypass_kernel_padded", bypass_kernel_padded, model0_safe=True
+    ),
+}
+
+
+def derive_seed(master: int, *parts: Any) -> int:
+    """A stable per-cell seed from the matrix seed and the cell's place."""
+    text = "/".join([str(master), *(str(p) for p in parts)])
+    digest = hashlib.sha256(text.encode()).digest()
+    return (int.from_bytes(digest[:4], "big") & 0x7FFFFFFF) or 1
+
+
+# --------------------------------------------------------------------------
+# per-process boot cache: build once, fork per run
+# --------------------------------------------------------------------------
+
+#: (workload, args, config hash) -> (Workload, pristine booted Processor).
+#: Process-local; worker processes each grow their own on demand.  Only
+#: fault-free configs are cached: a Monte-Carlo campaign's per-seed
+#: faulted configs are single-use and would only pin memory.
+_BOOT_CACHE: Dict[Tuple[str, Tuple, str], Tuple[Workload, Any]] = {}
+
+
+def _booted_workload(name: str, args: Tuple, config: MachineConfig) -> Workload:
+    """A runnable workload on a fresh machine for *config*.
+
+    Cache hit: the stored pristine processor is forked and swapped into
+    the workload's context (every accessor and verify closure reads
+    ``ctx.cpu`` late, so the fork is the machine that runs).  Miss:
+    build, boot, and remember the pristine machine.
+    """
+    key = (name, args, config_hash(config))
+    cached = _BOOT_CACHE.get(key) if config.fault_injection is None else None
+    if cached is None:
+        workload = WORKLOAD_DEFS[name].build(config=config, **dict(args))
+        if config.fault_injection is not None:
+            return workload
+        _BOOT_CACHE[key] = (workload, workload.ctx.cpu)
+        cached = _BOOT_CACHE[key]
+    workload, pristine = cached
+    workload.ctx.cpu = pristine.fork()
+    return workload
+
+
+def clear_boot_cache() -> None:
+    """Drop the process-local boot cache (tests use this)."""
+    _BOOT_CACHE.clear()
+
+
+# --------------------------------------------------------------------------
+# cell execution
+# --------------------------------------------------------------------------
+
+def _counter_metrics(counters) -> Dict[str, Any]:
+    """The deterministic counter-derived metrics a cell records."""
+    return {
+        "instructions": counters.instructions,
+        "held_cycles": counters.held_cycles,
+        "hold_causes": dict(zip(HOLD_CAUSE_NAMES, counters.hold_causes)),
+        "cache_hits": counters.cache_hits,
+        "cache_misses": counters.cache_misses,
+        "task_switches": counters.task_switches,
+    }
+
+
+def _arch_hash(cpu) -> str:
+    """Short hash of the machine's architectural trajectory."""
+    from ..supervise import architectural_json
+
+    text = architectural_json(cpu.snapshot())
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _execute_clean(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Run the cell under all three execution tiers; record each."""
+    base = variant(spec.variant).config
+    tiers: Dict[str, Any] = {}
+    metrics: Dict[str, Any] = {}
+    for tier, config in tier_configs(base).items():
+        workload = _booted_workload(spec.workload, spec.args, config)
+        cycles = workload.run(max_cycles=spec.max_cycles)
+        tiers[tier] = {
+            "cycles": cycles,
+            "arch_hash": _arch_hash(workload.ctx.cpu),
+        }
+        if tier == "traced":
+            metrics = _counter_metrics(workload.ctx.cpu.counters)
+    return {"kind": "clean", "tiers": tiers, "metrics": metrics,
+            "cycles": tiers["traced"]["cycles"],
+            "arch_hash": tiers["traced"]["arch_hash"]}
+
+
+def _execute_faulted(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Run the seeded fault plan under the recovery supervisor.
+
+    An unrecovered run (supervisor retry exhaustion, livelock, wrong
+    answer) is a *measurement* -- ``recovered: false`` with the failure
+    recorded -- not a failed cell: Monte-Carlo campaigns count these.
+    """
+    from ..supervise import Supervisor
+
+    base = variant(spec.variant).config
+    config = dataclasses.replace(base, fault_injection=spec.fault_config())
+    workload = _booted_workload(spec.workload, spec.args, config)
+    cpu = workload.ctx.cpu
+    supervisor = Supervisor(
+        cpu,
+        checkpoint_interval=spec.checkpoint_interval,
+        max_retries=spec.max_retries,
+    )
+    failure: Optional[str] = None
+    try:
+        supervisor.run(max_cycles=spec.max_cycles)
+        if not cpu.halted:
+            failure = f"did not halt within {spec.max_cycles} cycles"
+        elif not workload.verify():
+            failure = "halted but failed verification"
+    except DoradoError as exc:
+        failure = f"{type(exc).__name__}: {exc}"
+    counters = cpu.counters
+    return {
+        "kind": "faulted",
+        "recovered": failure is None,
+        "failure": failure,
+        "cycles": counters.cycles,
+        "arch_hash": _arch_hash(cpu),
+        "faults_injected": counters.faults_injected,
+        "ecc_uncorrected": counters.ecc_uncorrected,
+        "recovery": {
+            "checks_failed": counters.checks_failed,
+            "rollbacks": counters.rollbacks,
+            "replays": counters.replays,
+            "degrades": counters.degrades,
+        },
+        "metrics": _counter_metrics(counters),
+    }
+
+
+def execute_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Measure one cell (raises on broken specs; see ``_cell_worker``)."""
+    if spec.workload not in WORKLOAD_DEFS:
+        known = ", ".join(sorted(WORKLOAD_DEFS))
+        raise KeyError(f"unknown workload {spec.workload!r} (known: {known})")
+    if spec.is_faulted:
+        return _execute_faulted(spec)
+    return _execute_clean(spec)
+
+
+def _cell_worker(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point: never raises, never hangs the matrix."""
+    spec = ScenarioSpec.from_dict(spec_dict)
+    row: Dict[str, Any] = {"cell": spec.cell_id, "spec": spec.to_dict()}
+    try:
+        row["measurements"] = execute_cell(spec)
+        row["status"] = "ok"
+        row["error"] = None
+    except Exception as exc:  # a failed cell, not a failed matrix
+        row["measurements"] = None
+        row["status"] = "failed"
+        row["error"] = f"{type(exc).__name__}: {exc}"
+    return row
+
+
+# --------------------------------------------------------------------------
+# the matrix
+# --------------------------------------------------------------------------
+
+class ExperimentMatrix:
+    """A named, seeded, hash-identified set of scenario cells."""
+
+    def __init__(
+        self,
+        name: str,
+        cells: Sequence[ScenarioSpec],
+        *,
+        seed: int = 0,
+        excluded: Sequence[Dict[str, str]] = (),
+    ) -> None:
+        self.name = name
+        self.cells = list(cells)
+        self.seed = seed
+        self.excluded = list(excluded)
+        ids = [spec.cell_id for spec in self.cells]
+        duplicates = {i for i in ids if ids.count(i) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate cell ids: {sorted(duplicates)}")
+
+    @classmethod
+    def cartesian(
+        cls,
+        name: str,
+        workloads: Sequence[str],
+        variants: Sequence[str],
+        plans: Sequence[Optional[Dict[str, Any]]] = (None,),
+        *,
+        seed: int = 0,
+        spec_kw: Optional[Dict[str, Any]] = None,
+    ) -> "ExperimentMatrix":
+        """The full product, minus explicitly-excluded incompatible pairs.
+
+        *plans* entries are either ``None`` (a clean cell) or a
+        FaultConfig field template (seedless; each faulted cell gets a
+        seed derived from the matrix seed and its coordinates).
+        """
+        kw = spec_kw or {}
+        cells: List[ScenarioSpec] = []
+        excluded: List[Dict[str, str]] = []
+        for wname in workloads:
+            wdef = WORKLOAD_DEFS[wname]
+            for vname in variants:
+                vcfg = variant(vname).config
+                if not vcfg.bypass_enabled and not wdef.model0_safe:
+                    excluded.append({
+                        "workload": wname, "variant": vname,
+                        "reason": "workload microcode requires bypass paths "
+                                  "(not Model-0 safe)",
+                    })
+                    continue
+                for index, plan in enumerate(plans):
+                    if plan is None:
+                        cells.append(ScenarioSpec.clean(wname, vname, **kw))
+                    else:
+                        cells.append(ScenarioSpec.faulted(
+                            wname, vname, plan,
+                            seed=derive_seed(seed, wname, vname, index), **kw
+                        ))
+        return cls(name, cells, seed=seed, excluded=excluded)
+
+    @property
+    def hash(self) -> str:
+        """Identity of the whole grid: name, seed, every cell, exclusions."""
+        from .configs import hash_payload
+
+        return hash_payload({
+            "name": self.name,
+            "seed": self.seed,
+            "cells": [spec.to_dict() for spec in self.cells],
+            "excluded": self.excluded,
+        })
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "hash": self.hash,
+            "cells": [spec.to_dict() | {"cell": spec.cell_id}
+                      for spec in sorted(self.cells, key=lambda s: s.cell_id)],
+            "excluded": self.excluded,
+        }
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        workers: int = 0,
+        evaluators: Optional[Sequence] = None,
+        goldens: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, Any]:
+        """Execute every cell and assemble the evaluated result artifact.
+
+        ``workers <= 1`` runs inline (same code path the workers run);
+        more fans out over a process pool.  The result is independent
+        of *workers* byte-for-byte.
+        """
+        spec_dicts = [spec.to_dict() for spec in self.cells]
+        if workers > 1 and len(self.cells) > 1:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            with ctx.Pool(min(workers, len(self.cells))) as pool:
+                rows = pool.map(_cell_worker, spec_dicts)
+        else:
+            rows = [_cell_worker(d) for d in spec_dicts]
+        rows.sort(key=lambda r: r["cell"])
+
+        from .evaluate import default_evaluators
+        from .results import aggregate
+
+        result: Dict[str, Any] = {
+            "format": 1,
+            "matrix": self.describe(),
+            "cells": {row["cell"]: {k: v for k, v in row.items()
+                                    if k != "cell"}
+                      for row in rows},
+        }
+        active = list(evaluators) if evaluators is not None else (
+            default_evaluators(goldens=goldens)
+        )
+        checks: List[Dict[str, Any]] = []
+        for evaluator in active:
+            checks.extend(evaluator.evaluate(result))
+        checks.sort(key=lambda c: (c["cell"], c["evaluator"], c["check"]))
+        result["matrix"]["evaluators"] = sorted(e.name for e in active)
+        result["checks"] = checks
+        result["aggregate"] = aggregate(result)
+        result["passed"] = (
+            result["aggregate"]["failed_cells"] == 0
+            and result["aggregate"]["checks_failed"] == 0
+        )
+        return result

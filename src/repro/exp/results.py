@@ -1,0 +1,234 @@
+"""Result artifacts: canonical JSON, aggregation, tables, diffing.
+
+A matrix result is written as **canonical JSON** -- sorted keys, fixed
+indentation, trailing newline, and no wall-clock or host fields
+anywhere -- so rerunning the same matrix with the same seed produces a
+byte-identical file.  That byte-identity is the reproducibility
+receipt: ``diff`` between two artifacts is empty exactly when the two
+runs measured the same machine behaviour.
+
+Aggregation turns per-cell measurements into matrix-level statistics:
+pass/fail totals, and for fault campaigns the recovery-rate table
+(recovered fraction, rollback/replay counts) grouped by workload and
+variant -- the Monte-Carlo summary a thousand-seed campaign exists to
+produce.  :func:`format_ablation_table` regenerates the section-7-style
+workloads-by-features cycle table from any matrix run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .evaluate import _pin_key
+
+
+def canonical_dumps(result: Dict[str, Any]) -> str:
+    """The artifact's bytes: sorted keys, indent 2, trailing newline."""
+    return json.dumps(result, sort_keys=True, indent=2) + "\n"
+
+
+def save_result(result: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as f:
+        f.write(canonical_dumps(result))
+
+
+def load_result(path: str) -> Dict[str, Any]:
+    with open(path) as f:
+        return json.load(f)
+
+
+# --------------------------------------------------------------------------
+# aggregation
+# --------------------------------------------------------------------------
+
+def aggregate(result: Dict[str, Any]) -> Dict[str, Any]:
+    """Matrix-level statistics derived from the cells and checks."""
+    cells = result["cells"]
+    checks = result.get("checks", [])
+    failed_cells = sorted(
+        cell for cell, row in cells.items() if row["status"] != "ok"
+    )
+    campaign: Dict[str, Dict[str, Any]] = {}
+    for cell_id in sorted(cells):
+        row = cells[cell_id]
+        if row["status"] != "ok" or row["measurements"]["kind"] != "faulted":
+            continue
+        m = row["measurements"]
+        group = campaign.setdefault(_pin_key(row["spec"]), {
+            "cells": 0, "recovered": 0, "faults_injected": 0,
+            "rollbacks": 0, "replays": 0, "degrades": 0,
+        })
+        group["cells"] += 1
+        group["recovered"] += int(m["recovered"])
+        group["faults_injected"] += m["faults_injected"]
+        for field in ("rollbacks", "replays", "degrades"):
+            group[field] += m["recovery"][field]
+    for group in campaign.values():
+        group["recovery_rate"] = round(group["recovered"] / group["cells"], 4)
+    return {
+        "cells": len(cells),
+        "failed_cells": len(failed_cells),
+        "failed_cell_ids": failed_cells,
+        "checks": len(checks),
+        "checks_failed": sum(1 for c in checks if not c["passed"]),
+        "campaign": campaign,
+    }
+
+
+# --------------------------------------------------------------------------
+# report tables
+# --------------------------------------------------------------------------
+
+def _clean_cycles(result: Dict[str, Any]) -> Dict[str, Dict[str, int]]:
+    """workload[@args] -> variant -> traced cycles, clean cells only."""
+    table: Dict[str, Dict[str, int]] = {}
+    for cell_id in sorted(result["cells"]):
+        row = result["cells"][cell_id]
+        if row["status"] != "ok" or row["measurements"]["kind"] != "clean":
+            continue
+        spec = row["spec"]
+        workload = spec["workload"]
+        if spec.get("args"):
+            workload += "(" + ",".join(
+                f"{k}={v}" for k, v in sorted(spec["args"].items())) + ")"
+        table.setdefault(workload, {})[spec["variant"]] = (
+            row["measurements"]["cycles"]
+        )
+    return table
+
+
+def format_ablation_table(
+    result: Dict[str, Any], baseline_variant: str = "production"
+) -> str:
+    """The section-7-style grid: workloads down, config variants across.
+
+    Each cell shows simulated cycles, with the slowdown relative to the
+    baseline variant in parentheses when both numbers exist.
+    """
+    table = _clean_cycles(result)
+    if not table:
+        return "(no clean cells in this result)"
+    variants: List[str] = sorted(
+        {v for row in table.values() for v in row},
+        key=lambda v: (v != baseline_variant, v),
+    )
+    width = max(len(w) for w in table) + 2
+    col = 18
+    lines = ["ablation: simulated cycles by workload x machine feature",
+             "-" * (width + col * len(variants))]
+    lines.append(f"{'workload':<{width}}" +
+                 "".join(f"{v:>{col}}" for v in variants))
+    for workload in sorted(table):
+        row = table[workload]
+        cells = []
+        base = row.get(baseline_variant)
+        for v in variants:
+            cycles = row.get(v)
+            if cycles is None:
+                cells.append(f"{'-':>{col}}")
+            elif base and v != baseline_variant:
+                cells.append(f"{cycles} ({cycles / base:.2f}x)".rjust(col))
+            else:
+                cells.append(f"{cycles}".rjust(col))
+        lines.append(f"{workload:<{width}}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_summary(result: Dict[str, Any]) -> str:
+    """The CLI's post-run report: verdict, checks, campaign, ablation."""
+    agg = result["aggregate"]
+    matrix = result["matrix"]
+    lines = [
+        f"matrix {matrix['name']} (seed {matrix['seed']}, "
+        f"hash {matrix['hash']}): "
+        f"{agg['cells']} cells, {agg['failed_cells']} failed; "
+        f"{agg['checks']} checks, {agg['checks_failed']} failed -- "
+        f"{'PASSED' if result['passed'] else 'FAILED'}",
+    ]
+    if matrix.get("excluded"):
+        for entry in matrix["excluded"]:
+            lines.append(
+                f"  excluded {entry['workload']} x {entry['variant']}: "
+                f"{entry['reason']}"
+            )
+    for cell in agg["failed_cell_ids"]:
+        lines.append(f"  FAILED CELL {cell}: {result['cells'][cell]['error']}")
+    for check in result.get("checks", []):
+        if not check["passed"]:
+            lines.append(
+                f"  FAILED CHECK {check['evaluator']}/{check['check']} "
+                f"on {check['cell']}: {check['detail']}"
+            )
+    if agg["campaign"]:
+        lines.append("")
+        lines.append("fault campaign: recovery by workload x variant")
+        key_width = max(len(k) for k in agg["campaign"]) + 2
+        lines.append(
+            f"{'cell group':<{key_width}}{'runs':>6}{'recovered':>11}"
+            f"{'rate':>8}{'rollbacks':>11}{'replays':>9}{'degrades':>10}"
+        )
+        for key in sorted(agg["campaign"]):
+            g = agg["campaign"][key]
+            lines.append(
+                f"{key:<{key_width}}{g['cells']:>6}{g['recovered']:>11}"
+                f"{g['recovery_rate']:>8.2f}{g['rollbacks']:>11}"
+                f"{g['replays']:>9}{g['degrades']:>10}"
+            )
+    ablation = format_ablation_table(result)
+    if not ablation.startswith("("):
+        lines.append("")
+        lines.append(ablation)
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# diffing artifacts
+# --------------------------------------------------------------------------
+
+def diff_results(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    """Human-readable differences between two artifacts (empty = same).
+
+    Compares identity, per-cell status/cycles/state hashes, and check
+    verdicts -- the things that mean the simulated machines behaved
+    differently, not formatting.
+    """
+    problems: List[str] = []
+    if a["matrix"]["hash"] != b["matrix"]["hash"]:
+        problems.append(
+            f"matrix identity differs: {a['matrix']['hash']} vs "
+            f"{b['matrix']['hash']}"
+        )
+    cells_a, cells_b = a["cells"], b["cells"]
+    for cell in sorted(set(cells_a) | set(cells_b)):
+        if cell not in cells_a:
+            problems.append(f"{cell}: only in second result")
+            continue
+        if cell not in cells_b:
+            problems.append(f"{cell}: only in first result")
+            continue
+        ra, rb = cells_a[cell], cells_b[cell]
+        if ra["status"] != rb["status"]:
+            problems.append(
+                f"{cell}: status {ra['status']} vs {rb['status']}"
+            )
+            continue
+        ma, mb = ra["measurements"], rb["measurements"]
+        if ma is None or mb is None:
+            continue
+        for field in ("cycles", "arch_hash"):
+            if ma.get(field) != mb.get(field):
+                problems.append(
+                    f"{cell}: {field} {ma.get(field)} vs {mb.get(field)}"
+                )
+    verdicts_a = {(c["cell"], c["evaluator"], c["check"]): c["passed"]
+                  for c in a.get("checks", [])}
+    verdicts_b = {(c["cell"], c["evaluator"], c["check"]): c["passed"]
+                  for c in b.get("checks", [])}
+    for key in sorted(set(verdicts_a) | set(verdicts_b)):
+        if verdicts_a.get(key) != verdicts_b.get(key):
+            problems.append(
+                f"check {key[1]}/{key[2]} on {key[0]}: "
+                f"{verdicts_a.get(key)} vs {verdicts_b.get(key)}"
+            )
+    return problems

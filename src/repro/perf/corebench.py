@@ -34,8 +34,9 @@ import sys
 import time
 from typing import Callable, Dict, List
 
-from ..config import INTERPRETED, PLAN_ONLY, PRODUCTION, MachineConfig
+from ..config import PRODUCTION, MachineConfig
 from ..core.processor import Processor
+from ..exp.configs import tier_configs
 from ..asm.assembler import Assembler
 from ..graphics.bitblt import BitBltFunction, build_bitblt_machine, run_bitblt
 from ..graphics.bitmap import Bitmap
@@ -104,12 +105,10 @@ SCENARIOS: Dict[str, Callable[[MachineConfig], Callable[[], Callable[[], int]]]]
     "E4_display_fast_io": _e4_fast_io,
 }
 
-#: The tiers a corebench row compares, slowest first.
-TIERS = (
-    ("interp", INTERPRETED),
-    ("plan", PLAN_ONLY),
-    ("traced", PRODUCTION),
-)
+#: The tiers a corebench row compares, slowest first -- derived from the
+#: experiment matrix's tier registry (``repro.exp.configs``) so the
+#: bench and the matrix evaluators always mean the same three machines.
+TIERS = tuple(tier_configs(PRODUCTION).items())
 
 
 def run_corebench(repeats: int = 3) -> Dict[str, dict]:

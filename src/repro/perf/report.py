@@ -13,8 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..asm.assembler import Assembler
-from ..config import MODEL0, PRODUCTION, STITCHWELD, MachineConfig
-from ..core.functions import FF
+from ..config import PRODUCTION, MachineConfig
 from ..core.processor import Processor
 from ..emulators import lisp, mesa
 from ..emulators.isa import BytecodeAssembler
@@ -330,39 +329,35 @@ def experiment_e6(target_fill: float = 0.98) -> List[Row]:
 # --------------------------------------------------------------------------
 
 def _bypass_kernel(config: MachineConfig, padded: bool) -> int:
-    """A dependent-accumulate chain; Model-0-safe code pads each
-    use-after-write with an independent instruction (here a NOP, the
-    worst case the paper alludes to)."""
-    asm = Assembler(config)
-    asm.register("acc", 1)
-    asm.register("x", 2)
-    asm.emit(r="acc", b=0, alu="B", load="RM")
-    asm.emit(r="x", b=1, alu="B", load="RM")
-    asm.emit(count=15)
-    asm.label("loop")
-    for _ in range(8):
-        asm.emit(r="acc", a="RM", b="RM", alu="ADD", load="RM")  # acc += acc
-        if padded:
-            asm.emit()  # the spacer Model 0 microcoders had to insert
-    asm.emit(r="x", a="RM", alu="INC", load="RM",
-             branch=("COUNT", "loop", "done"))
-    asm.label("done")
-    asm.emit(r="acc", b="RM", ff=FF.TRACE)
-    asm.halt()
-    cpu = Processor(config)
-    cpu.load_image(asm.assemble())
-    cpu.run(100_000)
-    assert cpu.halted and cpu.console.trace, "bypass kernel did not finish"
-    return cpu.counters.cycles
+    """Run the matrix's bypass kernel directly; returns cycles.
+
+    The kernel microcode itself lives in :mod:`repro.exp.kernels` (the
+    experiment matrix schedules the same two workloads); this wrapper
+    keeps the historical (config, padded) call shape for benchmarks.
+    """
+    from ..exp.kernels import bypass_kernel, bypass_kernel_padded
+
+    build = bypass_kernel_padded if padded else bypass_kernel
+    return build(config=config).run()
 
 
 def experiment_e8() -> List[Row]:
-    fast = _bypass_kernel(PRODUCTION, padded=False)
-    slow = _bypass_kernel(MODEL0, padded=True)
+    """Section 5.6's ablation, measured as two matrix cells.
+
+    The cells are the same ones the ``ablation`` matrix runs: the
+    dependent-accumulate kernel needs bypass paths on the Model 1; the
+    padded variant is the code a Model 0 microcoder would write.
+    """
+    from ..exp.matrix import execute_cell
+    from ..exp.scenario import ScenarioSpec
+
+    fast = execute_cell(ScenarioSpec.clean("bypass_kernel", "production"))
+    slow = execute_cell(ScenarioSpec.clean("bypass_kernel_padded", "model0"))
     return [
-        ("Dependent kernel, Model 1 (bypassed), cycles", "-", str(fast)),
-        ("Same kernel, Model 0 (padded), cycles", "-", str(slow)),
-        ("Model 0 slowdown", '"significant"', _fmt(slow / fast, 2) + "x"),
+        ("Dependent kernel, Model 1 (bypassed), cycles", "-", str(fast["cycles"])),
+        ("Same kernel, Model 0 (padded), cycles", "-", str(slow["cycles"])),
+        ("Model 0 slowdown", '"significant"',
+         _fmt(slow["cycles"] / fast["cycles"], 2) + "x"),
     ]
 
 
@@ -427,11 +422,20 @@ def experiment_e10() -> List[Row]:
 
 
 def experiment_e13() -> List[Row]:
+    """Stitchweld versus multiwire, as two matrix cells.
+
+    Both cells simulate the identical cycle count (the variants differ
+    only in cycle time), so the slowdown is exactly 60 ns / 50 ns.
+    """
+    from ..exp.configs import variant as config_variant
+    from ..exp.matrix import execute_cell
+    from ..exp.scenario import ScenarioSpec
+
     times = {}
-    for label, config in [("multiwire 60ns", PRODUCTION), ("stitchweld 50ns", STITCHWELD)]:
-        w = mesa_loop_sum(100, config=config)
-        cycles = w.run()
-        times[label] = config.seconds(cycles) * 1e6
+    for label, vname in [("multiwire 60ns", "production"),
+                         ("stitchweld 50ns", "stitchweld")]:
+        cell = execute_cell(ScenarioSpec.clean("mesa_loop_sum", vname))
+        times[label] = config_variant(vname).config.seconds(cell["cycles"]) * 1e6
     ratio = times["multiwire 60ns"] / times["stitchweld 50ns"]
     return [
         ("Stitchweld run, microseconds", "-", _fmt(times["stitchweld 50ns"], 1)),
@@ -595,8 +599,6 @@ def experiment_recovery() -> List[Row]:
     """
     import dataclasses
 
-    from ..supervise import Supervisor, architectural_json
-
     clean = mesa_loop_sum(200)
     clean.run()
 
@@ -607,24 +609,73 @@ def experiment_recovery() -> List[Row]:
     unsupervised.ctx.cpu.run(50_000)
     unsupervised_ok = unsupervised.ctx.cpu.halted and unsupervised.verify()
 
-    supervised = mesa_loop_sum(200, config=faulted_config)
-    cpu = supervised.ctx.cpu
-    supervisor = Supervisor(
-        cpu, checkpoint_interval=DEMO_CHECKPOINT_INTERVAL, max_retries=3
+    # The supervised side is one convergence cell of the experiment
+    # matrix: the same demo plan as a seeded ScenarioSpec, executed by
+    # the matrix's own cell runner.
+    from ..exp.matrix import _arch_hash, execute_cell
+    from ..exp.scenario import ScenarioSpec
+
+    demo = demo_fault_config()
+    template = dataclasses.asdict(demo)
+    template.pop("seed")
+    supervised = execute_cell(ScenarioSpec.faulted(
+        "mesa_loop_sum", "production", template, seed=demo.seed,
+        max_cycles=50_000,
+        checkpoint_interval=DEMO_CHECKPOINT_INTERVAL, max_retries=3,
+    ))
+    identical = (
+        supervised["recovered"]
+        and supervised["arch_hash"] == _arch_hash(clean.ctx.cpu)
+        and supervised["cycles"] == clean.ctx.cpu.counters.cycles
     )
-    supervisor.run(50_000)
-    supervised_ok = cpu.halted and supervised.verify()
-    identical = architectural_json(cpu.snapshot()) == architectural_json(
-        clean.ctx.cpu.snapshot()
-    )
-    counters = cpu.counters
+    recovery = supervised["recovery"]
     return [
         ("Faulted run verifies, unsupervised", "-", str(unsupervised_ok).lower()),
-        ("Faulted run verifies, supervised", "-", str(supervised_ok).lower()),
+        ("Faulted run verifies, supervised", "-",
+         str(supervised["recovered"]).lower()),
         ("Rollbacks / replays", "-",
-         f"{counters.rollbacks} / {counters.replays}"),
+         f"{recovery['rollbacks']} / {recovery['replays']}"),
         ("Final state identical to clean run", "-", str(identical).lower()),
     ]
+
+
+# --------------------------------------------------------------------------
+# E16: scenario-matrix ablation (beyond the paper; DESIGN.md section 5.7)
+# --------------------------------------------------------------------------
+
+def experiment_matrix_ablation() -> List[Row]:
+    """The section 5.6 feature table, regenerated as a scenario matrix.
+
+    Runs the bypass-kernel corner of the ablation grid through
+    :mod:`repro.exp` -- cartesian product, explicit exclusion of the
+    incompatible cell, tier-parity and hold-accounting evaluators --
+    and reports the cells plus the evaluator verdict.  The full grid is
+    ``python -m repro.exp run ablation``.
+    """
+    from ..exp.matrix import ExperimentMatrix
+
+    matrix = ExperimentMatrix.cartesian(
+        "report_ablation",
+        workloads=("bypass_kernel", "bypass_kernel_padded"),
+        variants=("production", "model0"),
+    )
+    result = matrix.run()
+    rows: List[Row] = []
+    for cell_id in sorted(result["cells"]):
+        row = result["cells"][cell_id]
+        spec = row["spec"]
+        rows.append((
+            f"{spec['workload']} @ {spec['variant']}, cycles", "-",
+            str(row["measurements"]["cycles"]),
+        ))
+    rows.append(("Cells excluded (need bypass paths)", "-",
+                 str(len(matrix.excluded))))
+    agg = result["aggregate"]
+    rows.append(("Evaluator checks passed", "-",
+                 f"{agg['checks'] - agg['checks_failed']}/{agg['checks']}"))
+    rows.append(("Matrix verdict", "-",
+                 "passed" if result["passed"] else "failed"))
+    return rows
 
 
 def format_recovery_report(machine, log) -> str:
@@ -678,6 +729,7 @@ ALL_EXPERIMENTS = {
     "E13 stitchweld vs multiwire": experiment_e13,
     "E14 fault injection (beyond paper)": experiment_fault_injection,
     "E15 rollback-and-replay recovery (beyond paper)": experiment_recovery,
+    "E16 scenario-matrix ablation (beyond paper)": experiment_matrix_ablation,
 }
 
 

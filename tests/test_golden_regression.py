@@ -8,7 +8,15 @@ simulator-speed optimization -- that shifts a cycle anywhere in the
 BitBlt inner loop, the fast-I/O display service, or the task machinery
 shows up here as a diff against the paper-adjacent figures (E2 BitBlt
 Mbit/s, E4 fast-I/O occupancy 25%, E5 grain 25%/37.5%).
+
+The pins themselves live in ``tests/goldens.json`` -- one
+machine-readable file shared with the experiment matrix's
+GoldenPinEvaluator (``repro.exp``), so every pinned number is defined
+exactly once.
 """
+
+import json
+import pathlib
 
 import pytest
 
@@ -16,19 +24,22 @@ from repro.config import INTERPRETED, PLAN_ONLY, PRODUCTION
 from repro.perf.corebench import SCENARIOS
 from repro.perf.report import experiment_e2, experiment_e4, experiment_e5
 
+GOLDENS_PATH = pathlib.Path(__file__).parent / "goldens.json"
+GOLDENS = json.loads(GOLDENS_PATH.read_text())
+
+#: The corebench scenarios' simulated cycle counts, pinned exactly.
+#: These are the denominators of every BENCH_core.json rate; a fast
+#: tier that shifts one is a correctness bug, not an optimization.
+COREBENCH_CYCLES = GOLDENS["corebench_cycles"]
+
 
 def _measured(rows):
     return {metric: measured for metric, _paper, measured in rows}
 
 
-#: The corebench scenarios' simulated cycle counts, pinned exactly.
-#: These are the denominators of every BENCH_core.json rate; a fast
-#: tier that shifts one is a correctness bug, not an optimization.
-COREBENCH_CYCLES = {
-    "E1_mesa_loop_sum": 4807,
-    "E2_bitblt_copy": 9508,
-    "E4_display_fast_io": 1041,
-}
+def test_goldens_file_covers_corebench():
+    """Every corebench scenario has a pin; no orphan pins linger."""
+    assert set(COREBENCH_CYCLES) == set(SCENARIOS)
 
 
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
@@ -43,24 +54,27 @@ def test_corebench_simulated_cycles_golden(name, tier, config):
     )
 
 
-def test_e2_bitblt_bandwidth_golden():
-    rows = _measured(experiment_e2())
-    assert rows["BitBlt simple (scroll/move), Mbit/s"] == "32.0"
-    assert rows["BitBlt complex (src op dst), Mbit/s"] == "23.5"
-    assert rows["BitBlt erase-only (extension), Mbit/s"] == "222.2"
+@pytest.mark.parametrize(
+    "experiment,key",
+    [(experiment_e2, "e2"), (experiment_e4, "e4"), (experiment_e5, "e5")],
+    ids=["e2_bitblt", "e4_fast_io", "e5_task_grain"],
+)
+def test_report_strings_golden(experiment, key):
+    rows = _measured(experiment())
+    for metric, pinned in GOLDENS["report_strings"][key].items():
+        assert rows[metric] == pinned, (
+            f"{key}: {metric!r} drifted from the pinned string"
+        )
 
 
-def test_e4_fast_io_golden():
-    rows = _measured(experiment_e4())
-    assert rows["Fast I/O bandwidth, Mbit/s"] == "525"
-    assert rows["Fast I/O processor fraction (2-cycle grain)"] == "0.246"
-    assert rows["Display underruns"] == "0"
+def test_matrix_pins_agree_with_corebench():
+    """The two pin namespaces agree where they overlap.
 
-
-def test_e5_task_grain_golden():
-    rows = _measured(experiment_e5())
-    assert rows["Processor fraction, 2-instruction grain"] == "0.246"
-    assert rows["Processor fraction, 3-instruction grain"] == "0.369"
+    E1 is mesa_loop_sum on the production config; its corebench pin and
+    its matrix pin are the same measurement and must stay equal.
+    """
+    matrix = GOLDENS["matrix_cycles"]
+    assert matrix["mesa_loop_sum@production"] == COREBENCH_CYCLES["E1_mesa_loop_sum"]
 
 
 def test_paper_figures_within_tolerance():
