@@ -1,0 +1,40 @@
+"""Cluster scaling: aggregate simulated cycles/s vs node count.
+
+The multi-machine companion to ``bench_core.py`` -- the demo relay ring
+timed at N = 1, 2, 4 nodes through ``repro.cluster.bench.run_scaling``,
+the same sweep ``python -m repro.cluster bench`` records into
+BENCH_cluster.json next to BENCH_core.json.
+"""
+
+from repro.cluster import build_ring_cluster, build_ring_template, ring_epoch_budget
+from repro.cluster.bench import run_scaling
+
+from conftest import report_rows
+
+
+def test_cluster_scaling_sweep(benchmark):
+    """The recorded sweep itself: every node count verifies end to end."""
+    result = benchmark.pedantic(run_scaling, args=((1, 2, 4),), rounds=1)
+    rows = [
+        (f"N={row['nodes']} aggregate cycles/s", "--",
+         f"{row['cycles_per_second']:,}")
+        for row in result["scaling"]
+    ]
+    report_rows("E17 cluster ring scaling", rows)
+    assert all(row["verified"] for row in result["scaling"])
+    # More nodes simulate more aggregate cycles (same epochs, N machines).
+    totals = [row["total_cycles"] for row in result["scaling"]]
+    assert totals == sorted(totals)
+
+
+def test_three_node_ring_epoch_rate(benchmark):
+    """Steady-state coordinator cost: one full 3-node 2-lap ring run."""
+    template = build_ring_template()
+
+    def run():
+        cluster = build_ring_cluster(3, laps=2, template=template)
+        cluster.run(max_epochs=ring_epoch_budget(3, 2))
+        return cluster
+
+    cluster = benchmark(run)
+    assert cluster.nodes[0].program.verified

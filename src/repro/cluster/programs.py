@@ -1,0 +1,273 @@
+"""Distributed demo workloads: host-software state machines per node.
+
+A cluster *program* is the simulated host software driving one node's
+network controller -- the role the Alto/Dorado OS played above the
+paper's microcoded interface.  Programs are stepped once per lockstep
+epoch, after the node has run its ``epoch_cycles``; a step inspects the
+controller, arms transfers, harvests completed transmissions, and
+returns the packets to put on the fabric.  Everything a program does is
+a pure function of device state, so runs replay byte-identically.
+
+The demo workload is a **relay ring**: node 0 (:class:`RingOrigin`)
+transmits a seeded payload around the ring; every other node
+(:class:`RingRelay`) receives it, increments each word, and forwards
+it.  After one lap the origin receives its own payload incremented once
+per relay -- an end-to-end check that every DMA buffer, microcode loop,
+fabric hop, and controller handshake did its job, ``laps`` times over.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..asm.assembler import Assembler
+from ..config import PRODUCTION
+from ..core.processor import Processor
+from ..errors import StateError
+from ..fault.plan import FaultConfig
+from ..io.network import NetworkController, network_microcode
+from ..types import word
+from .cluster import Cluster, Node
+
+#: Per-node DMA buffers (identity-mapped low memory, clear of the
+#: microcode scratch pages the device tests use).
+RX_BUFFER_VA = 0x5000
+TX_BUFFER_VA = 0x5800
+
+
+def ring_payload(seed: int, lap: int, count: int) -> List[int]:
+    """The deterministic payload the origin transmits on *lap*.
+
+    A seeded LCG (same multiplier/increment family as the fault plan's
+    stream generator), so the expected words at any hop are computable
+    without replaying the cluster.
+    """
+    state = (seed * 0x9E3779B1 + lap * 0x85EBCA6B + 1) & 0xFFFFFFFF
+    words = []
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        words.append((state >> 8) & 0xFFFF)
+    return words
+
+
+def _transfer_complete(net: NetworkController) -> bool:
+    # tx passes through tx_drain before idle; done alone is not enough.
+    return net.done and net.mode == "idle"
+
+
+class RingOrigin:
+    """Node 0's program: transmit a payload, await its return, verify.
+
+    Phases: ``arm_tx`` (write the lap's payload into the tx buffer and
+    start the transmit) -> ``tx_wait`` (on completion, hand the wire
+    words to the fabric and arm the receive) -> ``rx_wait`` (on
+    completion, check the payload came back incremented once per
+    relay); repeat for ``laps`` laps.
+    """
+
+    kind = "ring_origin"
+    passive = False
+
+    def __init__(self, payload_words: int = 16, laps: int = 2,
+                 seed: int = 11, relays: int = 0) -> None:
+        self.payload_words = payload_words
+        self.laps = laps
+        self.seed = seed
+        self.relays = relays
+        self.phase = "arm_tx"
+        self.lap = 0
+        self.done = False
+        self.verified = True
+        self.failures: List[str] = []
+        self.packets_sent = 0
+        self.packets_received = 0
+
+    def step(self, node: Node) -> List[List[int]]:
+        net, cpu = node.net, node.cpu
+        out: List[List[int]] = []
+        if self.phase == "arm_tx":
+            payload = ring_payload(self.seed, self.lap, self.payload_words)
+            for i, value in enumerate(payload):
+                cpu.memory.debug_write(TX_BUFFER_VA + i, value)
+            net.begin_transmit(cpu, buffer_va=TX_BUFFER_VA,
+                               packet_words=self.payload_words)
+            self.phase = "tx_wait"
+        elif self.phase == "tx_wait":
+            if _transfer_complete(net):
+                out.append(list(net.tx_words))
+                self.packets_sent += 1
+                net.begin_receive(cpu, buffer_va=RX_BUFFER_VA,
+                                  packet_words=self.payload_words)
+                self.phase = "rx_wait"
+        elif self.phase == "rx_wait":
+            if _transfer_complete(net):
+                self.packets_received += 1
+                got = [cpu.memory.debug_read(RX_BUFFER_VA + i)
+                       for i in range(self.payload_words)]
+                expect = [word(v + self.relays) for v in
+                          ring_payload(self.seed, self.lap, self.payload_words)]
+                if got != expect:
+                    self.verified = False
+                    self.failures.append(
+                        f"lap {self.lap}: got {got[:4]}... expected {expect[:4]}..."
+                    )
+                self.lap += 1
+                if self.lap >= self.laps:
+                    self.done = True
+                    self.phase = "finished"
+                else:
+                    self.phase = "arm_tx"
+        return out
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "payload_words": self.payload_words,
+            "laps": self.laps,
+            "seed": self.seed,
+            "relays": self.relays,
+            "phase": self.phase,
+            "lap": self.lap,
+            "done": self.done,
+            "verified": self.verified,
+            "failures": list(self.failures),
+            "packets_sent": self.packets_sent,
+            "packets_received": self.packets_received,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        for field in ("payload_words", "laps", "seed", "relays"):
+            if state[field] != getattr(self, field):
+                raise StateError(
+                    f"ring-origin snapshot has {field}={state[field]}; "
+                    f"this program was built with {getattr(self, field)}"
+                )
+        self.phase = state["phase"]
+        self.lap = state["lap"]
+        self.done = bool(state["done"])
+        self.verified = bool(state["verified"])
+        self.failures = list(state["failures"])
+        self.packets_sent = state["packets_sent"]
+        self.packets_received = state["packets_received"]
+
+
+class RingRelay:
+    """A relay node's program: receive, increment every word, forward.
+
+    Passive -- it relays forever and never reports done; the cluster
+    finishes when the origin does.
+    """
+
+    kind = "ring_relay"
+    passive = True
+    done = False
+
+    def __init__(self, payload_words: int = 16, increment: int = 1) -> None:
+        self.payload_words = payload_words
+        self.increment = increment
+        self.phase = "arm_rx"
+        self.packets_received = 0
+        self.packets_sent = 0
+
+    def step(self, node: Node) -> List[List[int]]:
+        net, cpu = node.net, node.cpu
+        out: List[List[int]] = []
+        if self.phase == "arm_rx":
+            net.begin_receive(cpu, buffer_va=RX_BUFFER_VA,
+                              packet_words=self.payload_words)
+            self.phase = "rx_wait"
+        elif self.phase == "rx_wait":
+            if _transfer_complete(net):
+                self.packets_received += 1
+                for i in range(self.payload_words):
+                    value = cpu.memory.debug_read(RX_BUFFER_VA + i)
+                    cpu.memory.debug_write(TX_BUFFER_VA + i,
+                                           word(value + self.increment))
+                net.begin_transmit(cpu, buffer_va=TX_BUFFER_VA,
+                                   packet_words=self.payload_words)
+                self.phase = "tx_wait"
+        elif self.phase == "tx_wait":
+            if _transfer_complete(net):
+                out.append(list(net.tx_words))
+                self.packets_sent += 1
+                net.begin_receive(cpu, buffer_va=RX_BUFFER_VA,
+                                  packet_words=self.payload_words)
+                self.phase = "rx_wait"
+        return out
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "payload_words": self.payload_words,
+            "increment": self.increment,
+            "phase": self.phase,
+            "packets_received": self.packets_received,
+            "packets_sent": self.packets_sent,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        for field in ("payload_words", "increment"):
+            if state[field] != getattr(self, field):
+                raise StateError(
+                    f"ring-relay snapshot has {field}={state[field]}; "
+                    f"this program was built with {getattr(self, field)}"
+                )
+        self.phase = state["phase"]
+        self.packets_received = state["packets_received"]
+        self.packets_sent = state["packets_sent"]
+
+
+# --------------------------------------------------------------------------
+# cluster builders
+# --------------------------------------------------------------------------
+
+def build_ring_template(config=PRODUCTION) -> Processor:
+    """One booted machine with the network task, to fork N nodes from."""
+    asm = Assembler(config)
+    asm.emit(idle=True)
+    network_microcode(asm)
+    cpu = Processor(config)
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map()
+    cpu.attach_device(NetworkController())
+    return cpu
+
+
+def build_ring_cluster(
+    num_nodes: int,
+    *,
+    laps: int = 2,
+    payload_words: int = 16,
+    seed: int = 11,
+    config=PRODUCTION,
+    epoch_cycles: int = 800,
+    hop_latency: int = 1,
+    fault_plans: Optional[Dict[int, FaultConfig]] = None,
+    template: Optional[Processor] = None,
+) -> Cluster:
+    """The demo relay ring: origin at node 0, relays the rest of the way.
+
+    Pass a prebuilt *template* to amortize the boot cost across many
+    clusters (tests and benchmarks do); it is only forked, never run.
+    """
+    if template is None:
+        template = build_ring_template(config)
+    relays = num_nodes - 1
+    programs: List[Any] = [
+        RingOrigin(payload_words=payload_words, laps=laps, seed=seed,
+                   relays=relays)
+    ]
+    programs.extend(
+        RingRelay(payload_words=payload_words) for _ in range(relays)
+    )
+    return Cluster.from_template(
+        template,
+        num_nodes,
+        programs,
+        epoch_cycles=epoch_cycles,
+        hop_latency=hop_latency,
+        fault_plans=fault_plans,
+    )
+
+
+def ring_epoch_budget(num_nodes: int, laps: int) -> int:
+    """A comfortable epoch ceiling for a ring run (proportional, not tight)."""
+    return 40 + 8 * num_nodes * laps

@@ -200,6 +200,11 @@ class Processor:
         self.symbols.update(image.symbols)
         self.boot(getattr(image, "entry", 0))
 
+    @property
+    def devices(self):
+        """The attached device controllers, in attachment order."""
+        return tuple(self._devices)
+
     def attach_device(self, device) -> None:
         """Register a device controller.
 

@@ -12,9 +12,11 @@ Run one from the command line::
 """
 
 from .campaigns import (
+    CLUSTER_FAULT_TEMPLATE,
     DEMO_FAULT_TEMPLATE,
     MATRICES,
     ablation_matrix,
+    cluster_matrix,
     demo_matrix,
     monte_carlo_matrix,
 )
@@ -29,6 +31,7 @@ from .configs import (
 )
 from .evaluate import (
     EVALUATORS,
+    ClusterEvaluator,
     ConvergenceEvaluator,
     Evaluator,
     GoldenPinEvaluator,
@@ -38,6 +41,7 @@ from .evaluate import (
 )
 from .kernels import bypass_kernel, bypass_kernel_padded
 from .matrix import (
+    CLUSTER_WORKLOAD,
     WORKLOAD_DEFS,
     ExperimentMatrix,
     WorkloadDef,
@@ -57,7 +61,10 @@ from .results import (
 from .scenario import ScenarioSpec
 
 __all__ = [
+    "CLUSTER_FAULT_TEMPLATE",
+    "CLUSTER_WORKLOAD",
     "CONFIG_VARIANTS",
+    "ClusterEvaluator",
     "ConfigVariant",
     "ConvergenceEvaluator",
     "DEMO_FAULT_TEMPLATE",
@@ -78,6 +85,7 @@ __all__ = [
     "bypass_kernel_padded",
     "canonical_dumps",
     "clear_boot_cache",
+    "cluster_matrix",
     "config_hash",
     "default_evaluators",
     "demo_matrix",

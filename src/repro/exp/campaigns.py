@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from .matrix import ExperimentMatrix, derive_seed
+from .matrix import CLUSTER_WORKLOAD, ExperimentMatrix, derive_seed
 from .scenario import ScenarioSpec
 
 #: The demo fault plan template: one uncorrectable storage error plus
@@ -100,10 +100,41 @@ def monte_carlo_matrix(
     return ExperimentMatrix("monte_carlo", cells, seed=seed)
 
 
+#: Correctable-only storage faults inside the ring's active DMA window
+#: (the controllers stream their buffers in the first ~2k cycles of a
+#: node's run; later events would never meet a storage access).  ECC
+#: corrects every hit, so the ring must still verify end to end.
+CLUSTER_FAULT_TEMPLATE: Dict[str, Any] = {
+    "storage_correctable": 3,
+    "first_cycle": 0,
+    "last_cycle": 2000,
+}
+
+
+def cluster_matrix(seed: int = 23) -> ExperimentMatrix:
+    """Node-count sweep of the relay ring, plus one all-nodes-faulted cell.
+
+    Built directly from :class:`ScenarioSpec` -- ``cartesian`` draws
+    from WORKLOAD_DEFS, and the cluster workload is dispatched
+    separately (it measures N machines, not one ``Workload``).
+    """
+    cells = [
+        ScenarioSpec.clean(CLUSTER_WORKLOAD, "production", args={"nodes": n})
+        for n in (1, 2, 4)
+    ]
+    cells.append(ScenarioSpec.faulted(
+        CLUSTER_WORKLOAD, "production", CLUSTER_FAULT_TEMPLATE,
+        seed=derive_seed(seed, CLUSTER_WORKLOAD, "production", 3),
+        args={"nodes": 3},
+    ))
+    return ExperimentMatrix("cluster", cells, seed=seed)
+
+
 #: Named matrices for ``python -m repro.exp run <name>`` and tests.
 #: Each factory takes ``seed`` (and ``monte_carlo`` also ``seeds``).
 MATRICES: Dict[str, Callable[..., ExperimentMatrix]] = {
     "demo": demo_matrix,
     "ablation": ablation_matrix,
     "monte_carlo": monte_carlo_matrix,
+    "cluster": cluster_matrix,
 }

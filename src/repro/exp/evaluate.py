@@ -170,11 +170,44 @@ class HoldAccountingEvaluator(Evaluator):
     def evaluate(self, result):
         checks = []
         for cell_id, row in _ok_cells(result):
-            metrics = row["measurements"]["metrics"]
+            metrics = row["measurements"].get("metrics")
+            if not metrics:
+                continue
             attributed = sum(metrics["hold_causes"].values())
             checks.append(self._check(
                 cell_id, "hold_causes_sum", attributed == metrics["held_cycles"],
                 f"attributed {attributed}, held {metrics['held_cycles']}",
+            ))
+        return checks
+
+
+class ClusterEvaluator(Evaluator):
+    """Cluster cells must finish, verify, and actually move packets.
+
+    The ring workload's end-to-end guarantee: the origin's payload came
+    back incremented once per relay on every lap (``ring_verified``),
+    and the fabric delivered traffic at all (``packets_flowed`` -- a
+    verified ring with zero deliveries would mean the check never
+    exercised the wire).
+    """
+
+    name = "cluster"
+
+    def evaluate(self, result):
+        checks = []
+        for cell_id, row in _ok_cells(result):
+            m = row["measurements"]
+            if m["kind"] != "cluster":
+                continue
+            checks.append(self._check(
+                cell_id, "ring_verified", m["verified"],
+                "; ".join(m["failures"]) if m["failures"] else
+                f"{m['laps']} lap(s) over {m['nodes']} node(s) "
+                f"in {m['epochs']} epochs",
+            ))
+            checks.append(self._check(
+                cell_id, "packets_flowed", m["packets_delivered"] > 0,
+                f"{m['packets_delivered']} packet(s) delivered",
             ))
         return checks
 
@@ -185,6 +218,7 @@ EVALUATORS = {
     GoldenPinEvaluator.name: GoldenPinEvaluator,
     ConvergenceEvaluator.name: ConvergenceEvaluator,
     HoldAccountingEvaluator.name: HoldAccountingEvaluator,
+    ClusterEvaluator.name: ClusterEvaluator,
 }
 
 
@@ -194,6 +228,7 @@ def default_evaluators(goldens: Optional[Dict[str, int]] = None) -> List[Evaluat
         TierParityEvaluator(),
         ConvergenceEvaluator(),
         HoldAccountingEvaluator(),
+        ClusterEvaluator(),
     ]
     if goldens:
         panel.append(GoldenPinEvaluator(goldens))

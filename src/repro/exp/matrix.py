@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..config import MachineConfig
 from ..core.counters import HOLD_CAUSE_NAMES
 from ..errors import DoradoError
+from ..fault.plan import FaultConfig
 from ..perf.workloads import ALL_WORKLOADS, Workload
 from .configs import TIER_NAMES, config_hash, tier_configs, variant
 from .kernels import bypass_kernel, bypass_kernel_padded
@@ -204,8 +205,88 @@ def _execute_faulted(spec: ScenarioSpec) -> Dict[str, Any]:
     }
 
 
+#: The cluster demo workload: not in WORKLOAD_DEFS because a cluster
+#: cell measures N machines plus a fabric, not one Workload object.
+CLUSTER_WORKLOAD = "cluster_ring"
+
+
+def _execute_cluster(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Run a relay-ring cluster cell: N nodes, optional per-node faults.
+
+    A faulted cluster cell arms *every* node with its own fault plan,
+    each seeded from the cell seed and the node index -- so the sweep
+    exercises N distinct deterministic fault streams at once.  The
+    recorded ``cluster_hash`` covers the canonical cluster snapshot
+    (all machines, programs, and the fabric), which is what makes the
+    cell a replay check: same seed, same hash.
+    """
+    from ..cluster import build_ring_cluster, ring_epoch_budget
+
+    args = dict(spec.args)
+    nodes = args.get("nodes", 3)
+    laps = args.get("laps", 2)
+    payload_words = args.get("payload_words", 16)
+    fault_plans = None
+    if spec.is_faulted:
+        template = dict(spec.fault)
+        fault_plans = {
+            index: FaultConfig(
+                seed=derive_seed(spec.seed, "node", index), **template
+            )
+            for index in range(nodes)
+        }
+    cluster = build_ring_cluster(
+        nodes,
+        laps=laps,
+        payload_words=payload_words,
+        seed=spec.seed or 11,
+        config=variant(spec.variant).config,
+        fault_plans=fault_plans,
+    )
+    epochs = cluster.run(max_epochs=ring_epoch_budget(nodes, laps))
+    report = cluster.report()
+    origin = cluster.nodes[0].program
+    metrics: Dict[str, Any] = {
+        "instructions": 0,
+        "held_cycles": 0,
+        "hold_causes": {name: 0 for name in HOLD_CAUSE_NAMES},
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "task_switches": 0,
+    }
+    for node in cluster.nodes:
+        node_metrics = _counter_metrics(node.cpu.counters)
+        for key, value in node_metrics.items():
+            if key == "hold_causes":
+                for cause, count in value.items():
+                    metrics["hold_causes"][cause] += count
+            else:
+                metrics[key] += value
+    cluster_hash = hashlib.sha256(
+        cluster.snapshot().to_json().encode()
+    ).hexdigest()[:16]
+    return {
+        "kind": "cluster",
+        "nodes": nodes,
+        "laps": laps,
+        "epochs": epochs,
+        "done": bool(origin.done),
+        "verified": bool(origin.done and origin.verified),
+        "failures": list(origin.failures),
+        "cycles": report["total_cycles"],
+        "cluster_hash": cluster_hash,
+        "packets_delivered": report["fabric"]["packets_delivered"],
+        "faults_injected": sum(
+            node.cpu.counters.faults_injected for node in cluster.nodes
+        ),
+        "metrics": metrics,
+    }
+
+
 def execute_cell(spec: ScenarioSpec) -> Dict[str, Any]:
     """Measure one cell (raises on broken specs; see ``_cell_worker``)."""
+    if spec.workload == CLUSTER_WORKLOAD:
+        return _execute_cluster(spec)
     if spec.workload not in WORKLOAD_DEFS:
         known = ", ".join(sorted(WORKLOAD_DEFS))
         raise KeyError(f"unknown workload {spec.workload!r} (known: {known})")

@@ -117,11 +117,19 @@ class NetworkController(Device):
         """Arm reception of the next *packet_words*-word packet."""
         if self.mode != "idle":
             raise DeviceError("network transfer already in progress")
+        if packet_words % 2:
+            raise DeviceError(
+                "network receive must be an even number of words: the rx "
+                f"microcode loop stores word pairs ({packet_words} armed)"
+            )
         self._setup(machine, buffer_va, packet_words // 2, "net.rx_loop")
         self.mode = "rx"
         self.fifo = []
         self.done = False
         self._unclaimed = 0
+        # A packet longer than the previous arm leaves its tail in
+        # rx_current; a fresh arm must never replay it into this packet.
+        self.rx_current = []
         self.rx_remaining = packet_words
         self._done_wakeup_sent = False
         self._timer = self.word_interval_cycles
@@ -130,6 +138,11 @@ class NetworkController(Device):
         """Transmit *packet_words* words from memory onto the wire."""
         if self.mode != "idle":
             raise DeviceError("network transfer already in progress")
+        if packet_words % 2:
+            raise DeviceError(
+                "network transmit must be an even number of words: the tx "
+                f"microcode loop fetches word pairs ({packet_words} armed)"
+            )
         self._setup(machine, buffer_va, packet_words // 2, "net.tx_prime")
         self.mode = "tx"
         self.fifo = []
@@ -145,7 +158,12 @@ class NetworkController(Device):
 
     def poll(self, machine) -> None:
         if self.mode == "rx":
-            if not self.rx_current and self.rx_queue:
+            # Invariant (re-armed in begin_receive): wire words only sit
+            # in rx_current while this arm still wants them.
+            assert not self.rx_current or self.rx_remaining > 0, (
+                "network: stale rx_current words survived across receives"
+            )
+            if not self.rx_current and self.rx_queue and self.rx_remaining > 0:
                 self.rx_current = self.rx_queue.pop(0)
             self._timer -= 1
             if self._timer <= 0 and self.rx_current and self.rx_remaining > 0:
@@ -153,6 +171,11 @@ class NetworkController(Device):
                 self.rx_remaining -= 1
                 self._unclaimed += 1
                 self._timer = self.word_interval_cycles
+                if self.rx_remaining == 0:
+                    # Over-long wire packet: truncate at the armed length
+                    # rather than letting the tail bleed into the next
+                    # receive.
+                    self.rx_current = []
             # Claim accounting: see repro/io/disk.py.
             if self._unclaimed >= 2:
                 self._unclaimed -= 2
@@ -173,7 +196,9 @@ class NetworkController(Device):
             requested_all = self.tx_requested >= self.tx_expected
             if not requested_all and len(self.fifo) <= 2 and self._service_pending == 0 and not self._was_granted:
                 self.request_service(1)
-                self.tx_requested += 2
+                # Each service unit fetches one word pair; clamp so the
+                # device counter can never run ahead of the microcode's.
+                self.tx_requested = min(self.tx_requested + 2, self.tx_expected)
             elif (
                 requested_all
                 and not self._done_wakeup_sent
@@ -195,7 +220,17 @@ class NetworkController(Device):
     def read_register(self, offset: int) -> int:
         if offset == 0:
             if not self.fifo:
-                raise DeviceError("network RX FIFO underrun")
+                # Diagnosable in the PR 5 failure-taxonomy style: enough
+                # device context to triage without a live machine.
+                cycle = self.machine.now if self.machine is not None else 0
+                raise DeviceError(
+                    f"network RX FIFO underrun (task {self.task}, "
+                    f"cycle {cycle}, mode {self.mode}, "
+                    f"rx_remaining {self.rx_remaining}, "
+                    f"tx {self.tx_requested}/{self.tx_expected} words "
+                    f"requested, {self._service_pending} service unit(s) "
+                    "pending)"
+                )
             return self.fifo.pop(0)
         if offset == 1:
             return 1 if self.done else 0

@@ -114,6 +114,26 @@ def _revive(obj: Any) -> Any:
     return obj
 
 
+def canonical_json(data: Any) -> str:
+    """Canonical JSON of a plain-data tree: same data, same bytes.
+
+    The one serialization the repo's byte-identity guarantees are built
+    on -- sorted stringified keys, RLE-coded integer arrays, no
+    whitespace.  :class:`MachineState` uses it for single machines and
+    the cluster layer (:mod:`repro.cluster`) for vectors of them.
+    """
+    return json.dumps(_canonical(data), sort_keys=True, separators=(",", ":"))
+
+
+def parse_canonical_json(text: str) -> Any:
+    """Invert :func:`canonical_json` (raises StateError on bad input)."""
+    try:
+        raw = json.loads(text)
+    except ValueError as exc:
+        raise StateError(f"malformed canonical-state JSON: {exc}") from exc
+    return _revive(raw)
+
+
 # --------------------------------------------------------------------------
 # the assembled machine state
 # --------------------------------------------------------------------------
@@ -150,9 +170,7 @@ class MachineState:
 
     def to_json(self) -> str:
         """Canonical JSON: the same state always yields the same bytes."""
-        return json.dumps(
-            _canonical(self.data), sort_keys=True, separators=(",", ":")
-        )
+        return canonical_json(self.data)
 
     @classmethod
     def from_json(cls, text: str) -> "MachineState":

@@ -182,6 +182,72 @@ def test_disk_and_network_concurrently():
     assert cpu.counters.task_cycles[NETWORK_TASK] > 0
 
 
+def test_network_overlong_packet_does_not_bleed_into_next_receive():
+    """Regression: begin_receive must clear rx_current.
+
+    A wire packet longer than the armed length used to leave its tail
+    in rx_current, and the next receive replayed those stale words in
+    front of its own packet.
+    """
+    cpu, net = network_machine()
+    first = [(0x1000 + i) & 0xFFFF for i in range(40)]   # 8 words too long
+    net.begin_receive(cpu, buffer_va=0x5000, packet_words=32)
+    net.inject_packet(first)
+    cpu.run_until(lambda m: net.done, max_cycles=100_000)
+    assert [cpu.memory.debug_read(0x5000 + i) for i in range(32)] == first[:32]
+    second = [(0x2000 + i) & 0xFFFF for i in range(32)]
+    net.begin_receive(cpu, buffer_va=0x5100, packet_words=32)
+    net.inject_packet(second)
+    cpu.run_until(lambda m: net.done, max_cycles=100_000)
+    assert [cpu.memory.debug_read(0x5100 + i) for i in range(32)] == second
+    assert net.packets_received == 2
+
+
+def test_network_rejects_odd_word_counts():
+    """Regression: odd packet_words used to hang the transfer.
+
+    count_pairs = packet_words // 2 truncates while the device counts
+    words, so the microcode loop and the device disagreed forever; now
+    both arms validate up front and stay idle.
+    """
+    cpu, net = network_machine()
+    with pytest.raises(DeviceError, match="even number of words"):
+        net.begin_receive(cpu, buffer_va=0x5000, packet_words=31)
+    assert net.mode == "idle"
+    with pytest.raises(DeviceError, match="even number of words"):
+        net.begin_transmit(cpu, buffer_va=0x5100, packet_words=7)
+    assert net.mode == "idle"
+
+
+def test_network_tx_requested_never_overshoots_expected():
+    """Regression: the pair-fetch counter is clamped to tx_expected."""
+    cpu, net = network_machine()
+    packet = [(0x3000 + i) & 0xFFFF for i in range(16)]
+    for i, v in enumerate(packet):
+        cpu.memory.debug_write(0x5200 + i, v)
+    net.begin_transmit(cpu, buffer_va=0x5200, packet_words=16)
+    for _ in range(100_000):
+        cpu.run(1)
+        assert net.tx_requested <= net.tx_expected
+        if net.done:
+            break
+    assert net.done
+    assert net.tx_requested == net.tx_expected
+    assert net.tx_words == packet
+
+
+def test_network_underrun_error_carries_device_context():
+    """Regression: the FIFO-underrun error must be triage-complete."""
+    cpu, net = network_machine()
+    with pytest.raises(DeviceError) as exc:
+        net.read_register(0)
+    message = str(exc.value)
+    assert f"task {NETWORK_TASK}" in message
+    assert "mode idle" in message
+    assert "rx_remaining 0" in message
+    assert "cycle" in message and "service unit" in message
+
+
 # --- loopback + IOATN -------------------------------------------------------------------
 
 def test_loopback_slow_io_and_attention():

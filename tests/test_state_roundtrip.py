@@ -249,6 +249,56 @@ def test_fork_shares_no_trace_closures():
     assert clone._traces.failures == []
 
 
+# --- network controller mid-transfer, all three tiers -------------------------
+
+
+def _network_machine(config):
+    from repro.io.network import NetworkController, network_microcode
+
+    asm = Assembler(config)
+    asm.emit(idle=True)
+    network_microcode(asm)
+    cpu = Processor(config)
+    cpu.load_image(asm.assemble())
+    cpu.memory.identity_map()
+    net = NetworkController()
+    cpu.attach_device(net)
+    return cpu, net
+
+
+@pytest.mark.parametrize("tier", ["interp", "plan", "traced"])
+@pytest.mark.parametrize("direction", ["rx", "tx"])
+def test_network_mid_transfer_roundtrip_across_tiers(tier, direction):
+    """Snapshot/restore with a network DMA in flight, on every tier.
+
+    The cluster fabric snapshots machines between epochs, which can
+    land mid-receive or mid-transmit; the controller's FIFO, pacing
+    timer, and pair-fetch counters must all survive the round-trip on
+    the interpreter, the plan cache, and the compiled-trace tier alike.
+    """
+    from repro.exp import tier_configs
+
+    cpu, net = _network_machine(tier_configs(PRODUCTION)[tier])
+    if direction == "rx":
+        net.begin_receive(cpu, buffer_va=0x5000, packet_words=32)
+        net.inject_packet([(0x4000 + i) & 0xFFFF for i in range(32)])
+    else:
+        for i in range(16):
+            cpu.memory.debug_write(0x5100 + i, (0x6000 + i) & 0xFFFF)
+        net.begin_transmit(cpu, buffer_va=0x5100, packet_words=16)
+    cpu.run(200)                      # mid-transfer: words still pacing
+    assert net.mode != "idle" and not net.done
+    mid = cpu.snapshot()
+    mid_json = mid.to_json()
+    cpu.run_until(lambda m: net.done, max_cycles=100_000)
+    end_json = cpu.snapshot().to_json()
+
+    cpu.restore(mid)
+    assert cpu.snapshot().to_json() == mid_json
+    cpu.run_until(lambda m: net.done, max_cycles=100_000)
+    assert cpu.snapshot().to_json() == end_json
+
+
 # --- boot() residue (the re-boot satellite) ----------------------------------
 
 
