@@ -165,59 +165,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             fault_injection=fault_config,
         )
 
-    if config is not None:
-        workload = ALL_WORKLOADS[args.workload](config=config)
-    else:
-        workload = ALL_WORKLOADS[args.workload]()
-    cpu = workload.ctx.cpu
+    from .service.session import Session
+
+    session = Session.build(
+        args.workload,
+        config=config,
+        supervise=args.supervise,
+        checkpoint_interval=args.checkpoint_interval,
+        max_retries=args.max_retries,
+    )
+    cpu = session.cpu
     if args.load_state is not None:
         from .state import MachineState
 
-        cpu.restore(MachineState.load(args.load_state))
+        session.load(MachineState.load(args.load_state))
         print(f"restored {args.load_state} (cycle {cpu.now})")
     tracer = profiler = None
     if args.trace:
         tracer = PipelineTracer(cpu).install()
     if args.profile or args.metrics_json is not None:
-        profiler = OpcodeProfiler(workload.ctx)
+        profiler = OpcodeProfiler(session.ctx)
 
-    supervisor = None
+    # Observers come off the bus whatever the run did -- success,
+    # diagnosed failure, or a verify oracle blowing up.  Timelines and
+    # cost tables survive uninstall (the recorded data is retained), so
+    # detaching first is safe.
     try:
-        if args.supervise:
-            from .errors import EmulatorError
-            from .supervise import Supervisor
-
-            supervisor = Supervisor(
-                cpu,
-                checkpoint_interval=args.checkpoint_interval,
-                max_retries=args.max_retries,
-            )
-            cycles = supervisor.run(max_cycles=args.max_cycles)
-            if not cpu.halted:
-                raise EmulatorError(
-                    f"{workload.name} did not halt within "
-                    f"{args.max_cycles} supervised cycles"
-                )
-            if not workload.verify():
-                raise EmulatorError(
-                    f"{workload.name} halted but failed verification "
-                    f"under supervision"
-                )
-        else:
-            cycles = workload.run(max_cycles=args.max_cycles)
-    except DoradoError as exc:
-        _print_failure(exc, cpu)
+        try:
+            cycles = session.run(max_cycles=args.max_cycles)
+        except DoradoError as exc:
+            _print_failure(exc, cpu)
+            return 1
+    finally:
         if tracer is not None:
             tracer.uninstall()
         if profiler is not None:
             profiler.uninstall()
-        return 1
-    print(f"{workload.name}: {cycles} cycles, verified")
-    if supervisor is not None:
+    print(f"{session.workload.name}: {cycles} cycles, verified")
+    if session.supervisor is not None:
         from .perf.report import format_recovery_report
 
         print()
-        print(format_recovery_report(cpu, supervisor.log))
+        print(format_recovery_report(cpu, session.supervisor.log))
 
     if args.save_state is not None:
         cpu.snapshot().save(args.save_state)
@@ -229,11 +218,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.profile and profiler is not None:
         print()
         print(format_opcode_costs(
-            profiler.table(), title=f"per-opcode-class costs: {workload.name}"
+            profiler.table(),
+            title=f"per-opcode-class costs: {session.workload.name}",
         ))
     if args.metrics_json is not None:
         snapshot = metrics_snapshot(cpu)
-        snapshot["workload"] = {"name": workload.name, "cycles": cycles}
+        snapshot["workload"] = {
+            "name": session.workload.name, "cycles": cycles,
+        }
         text = json.dumps(snapshot, indent=2)
         if args.metrics_json == "-":
             print()
@@ -242,11 +234,6 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.metrics_json, "w") as f:
                 f.write(text + "\n")
             print(f"wrote {args.metrics_json}")
-
-    if tracer is not None:
-        tracer.uninstall()
-    if profiler is not None:
-        profiler.uninstall()
     return 0
 
 

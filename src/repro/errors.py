@@ -197,5 +197,16 @@ class DeviceError(DoradoError):
     """An I/O device model was used inconsistently."""
 
 
+class ServiceError(DoradoError):
+    """A session/fleet request the simulation service cannot honour.
+
+    Raised by :mod:`repro.service` for protocol-level mistakes -- an
+    unknown workload or session name, a malformed suspend envelope, a
+    duplicate open -- as opposed to failures *of* the simulated run,
+    which surface as the usual :class:`EmulatorError` /
+    :class:`UnrecoverableFault` family and are recorded on the session.
+    """
+
+
 class EmulatorError(DoradoError):
     """A byte-code program or emulator image is malformed."""

@@ -7,14 +7,15 @@ with incompatible pairs (unpadded emulator microcode on the bypass-less
 Model 0) excluded explicitly, never silently: the exclusions are part
 of the matrix identity and the artifact.
 
-Running the matrix fans cells out across worker processes.  Each worker
-keeps a *boot cache*: the first cell needing a (workload, args, config)
-machine builds and boots it once, and every later run of that pair
-starts from a :meth:`~repro.core.processor.Processor.fork` of the
-pristine boot -- a shared-snapshot seeded fork, so microcode assembly
-is paid once per worker, not once per cell.  A cell that raises is
-recorded as a *failed cell* in the result, never a hung or aborted
-matrix.
+Running the matrix fans cells out across worker processes.  Cell
+execution is a thin client of the session service
+(:mod:`repro.service.session`), which owns the per-process *boot
+cache*: the first cell needing a (workload, args, config) machine
+builds and boots it once, and every later run of that pair starts from
+a :meth:`~repro.core.processor.Processor.fork` of the pristine boot --
+a shared-snapshot seeded fork, so microcode assembly is paid once per
+worker, not once per cell.  A cell that raises is recorded as a
+*failed cell* in the result, never a hung or aborted matrix.
 
 Measurements are exclusively simulated quantities (cycles, counters,
 architectural-state hashes) -- no wall clock, no host names -- so a
@@ -28,16 +29,26 @@ import dataclasses
 import hashlib
 import multiprocessing
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..config import MachineConfig
 from ..core.counters import HOLD_CAUSE_NAMES
 from ..errors import DoradoError
 from ..fault.plan import FaultConfig
 from ..perf.workloads import ALL_WORKLOADS, Workload
-from .configs import TIER_NAMES, config_hash, tier_configs, variant
+from ..service.session import Session, arch_hash, clear_boot_cache
+from .configs import tier_configs, variant
 from .kernels import bypass_kernel, bypass_kernel_padded
 from .scenario import ScenarioSpec
+
+__all__ = [
+    "CLUSTER_WORKLOAD",
+    "ExperimentMatrix",
+    "WORKLOAD_DEFS",
+    "WorkloadDef",
+    "clear_boot_cache",  # re-export: the cache moved to repro.service
+    "derive_seed",
+    "execute_cell",
+]
 
 
 # --------------------------------------------------------------------------
@@ -80,44 +91,7 @@ def derive_seed(master: int, *parts: Any) -> int:
 
 
 # --------------------------------------------------------------------------
-# per-process boot cache: build once, fork per run
-# --------------------------------------------------------------------------
-
-#: (workload, args, config hash) -> (Workload, pristine booted Processor).
-#: Process-local; worker processes each grow their own on demand.  Only
-#: fault-free configs are cached: a Monte-Carlo campaign's per-seed
-#: faulted configs are single-use and would only pin memory.
-_BOOT_CACHE: Dict[Tuple[str, Tuple, str], Tuple[Workload, Any]] = {}
-
-
-def _booted_workload(name: str, args: Tuple, config: MachineConfig) -> Workload:
-    """A runnable workload on a fresh machine for *config*.
-
-    Cache hit: the stored pristine processor is forked and swapped into
-    the workload's context (every accessor and verify closure reads
-    ``ctx.cpu`` late, so the fork is the machine that runs).  Miss:
-    build, boot, and remember the pristine machine.
-    """
-    key = (name, args, config_hash(config))
-    cached = _BOOT_CACHE.get(key) if config.fault_injection is None else None
-    if cached is None:
-        workload = WORKLOAD_DEFS[name].build(config=config, **dict(args))
-        if config.fault_injection is not None:
-            return workload
-        _BOOT_CACHE[key] = (workload, workload.ctx.cpu)
-        cached = _BOOT_CACHE[key]
-    workload, pristine = cached
-    workload.ctx.cpu = pristine.fork()
-    return workload
-
-
-def clear_boot_cache() -> None:
-    """Drop the process-local boot cache (tests use this)."""
-    _BOOT_CACHE.clear()
-
-
-# --------------------------------------------------------------------------
-# cell execution
+# cell execution (sessions over the service's shared boot cache)
 # --------------------------------------------------------------------------
 
 def _counter_metrics(counters) -> Dict[str, Any]:
@@ -132,28 +106,23 @@ def _counter_metrics(counters) -> Dict[str, Any]:
     }
 
 
-def _arch_hash(cpu) -> str:
-    """Short hash of the machine's architectural trajectory."""
-    from ..supervise import architectural_json
-
-    text = architectural_json(cpu.snapshot())
-    return hashlib.sha256(text.encode()).hexdigest()[:16]
-
-
 def _execute_clean(spec: ScenarioSpec) -> Dict[str, Any]:
     """Run the cell under all three execution tiers; record each."""
     base = variant(spec.variant).config
     tiers: Dict[str, Any] = {}
     metrics: Dict[str, Any] = {}
     for tier, config in tier_configs(base).items():
-        workload = _booted_workload(spec.workload, spec.args, config)
-        cycles = workload.run(max_cycles=spec.max_cycles)
+        session = Session.build(
+            spec.workload, args=dict(spec.args), config=config,
+            supervise=False,
+        )
+        cycles = session.run(max_cycles=spec.max_cycles)
         tiers[tier] = {
             "cycles": cycles,
-            "arch_hash": _arch_hash(workload.ctx.cpu),
+            "arch_hash": session.arch_hash(),
         }
         if tier == "traced":
-            metrics = _counter_metrics(workload.ctx.cpu.counters)
+            metrics = _counter_metrics(session.cpu.counters)
     return {"kind": "clean", "tiers": tiers, "metrics": metrics,
             "cycles": tiers["traced"]["cycles"],
             "arch_hash": tiers["traced"]["arch_hash"]}
@@ -166,23 +135,21 @@ def _execute_faulted(spec: ScenarioSpec) -> Dict[str, Any]:
     answer) is a *measurement* -- ``recovered: false`` with the failure
     recorded -- not a failed cell: Monte-Carlo campaigns count these.
     """
-    from ..supervise import Supervisor
-
     base = variant(spec.variant).config
     config = dataclasses.replace(base, fault_injection=spec.fault_config())
-    workload = _booted_workload(spec.workload, spec.args, config)
-    cpu = workload.ctx.cpu
-    supervisor = Supervisor(
-        cpu,
+    session = Session.build(
+        spec.workload, args=dict(spec.args), config=config,
+        supervise=True,
         checkpoint_interval=spec.checkpoint_interval,
         max_retries=spec.max_retries,
     )
+    cpu = session.cpu
     failure: Optional[str] = None
     try:
-        supervisor.run(max_cycles=spec.max_cycles)
+        session.run_slice(spec.max_cycles)
         if not cpu.halted:
             failure = f"did not halt within {spec.max_cycles} cycles"
-        elif not workload.verify():
+        elif not session.verify():
             failure = "halted but failed verification"
     except DoradoError as exc:
         failure = f"{type(exc).__name__}: {exc}"
@@ -192,7 +159,7 @@ def _execute_faulted(spec: ScenarioSpec) -> Dict[str, Any]:
         "recovered": failure is None,
         "failure": failure,
         "cycles": counters.cycles,
-        "arch_hash": _arch_hash(cpu),
+        "arch_hash": arch_hash(cpu),
         "faults_injected": counters.faults_injected,
         "ecc_uncorrected": counters.ecc_uncorrected,
         "recovery": {

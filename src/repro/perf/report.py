@@ -612,8 +612,9 @@ def experiment_recovery() -> List[Row]:
     # The supervised side is one convergence cell of the experiment
     # matrix: the same demo plan as a seeded ScenarioSpec, executed by
     # the matrix's own cell runner.
-    from ..exp.matrix import _arch_hash, execute_cell
+    from ..exp.matrix import execute_cell
     from ..exp.scenario import ScenarioSpec
+    from ..service.session import arch_hash
 
     demo = demo_fault_config()
     template = dataclasses.asdict(demo)
@@ -625,7 +626,7 @@ def experiment_recovery() -> List[Row]:
     ))
     identical = (
         supervised["recovered"]
-        and supervised["arch_hash"] == _arch_hash(clean.ctx.cpu)
+        and supervised["arch_hash"] == arch_hash(clean.ctx.cpu)
         and supervised["cycles"] == clean.ctx.cpu.counters.cycles
     )
     recovery = supervised["recovery"]

@@ -17,6 +17,25 @@ from ..emulators.isa import BytecodeAssembler, EmulatorContext
 from ..errors import EmulatorError
 
 
+@dataclass(frozen=True)
+class SliceResult:
+    """Outcome of one bounded slice of execution.
+
+    The machine either reached HALT (``halted``) or spent its whole
+    cycle budget with work remaining (``exhausted``) -- a budget-capped
+    run is a scheduling event, not an error, so sliced callers (the
+    session service, the CLI's max-cycles loop) can decide whether to
+    grant another slice.
+    """
+
+    cycles: int
+    halted: bool
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.halted
+
+
 @dataclass
 class Workload:
     """A runnable emulator scenario with a correctness oracle."""
@@ -26,13 +45,18 @@ class Workload:
     verify: Callable[[], bool]
     meta: Dict[str, int] = field(default_factory=dict)
 
+    def run_slice(self, cycles: int) -> SliceResult:
+        """Advance at most *cycles* simulated cycles; report the outcome."""
+        ran = self.ctx.run(cycles)
+        return SliceResult(cycles=ran, halted=self.ctx.halted)
+
     def run(self, max_cycles: int = 5_000_000) -> int:
-        cycles = self.ctx.run(max_cycles)
-        if not self.ctx.halted:
+        result = self.run_slice(max_cycles)
+        if not result.halted:
             raise EmulatorError(f"workload {self.name} did not halt")
         if not self.verify():
             raise EmulatorError(f"workload {self.name} computed a wrong result")
-        return cycles
+        return result.cycles
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,50 @@
+"""The simulation service (DESIGN.md 5.9).
+
+Layer 1 -- :mod:`repro.service.session` -- wraps one workload's
+lifecycle (boot-from-config or restore-from-checkpoint, bounded slices,
+supervised recovery, canonical-JSON suspend/resume, per-session
+metering) in a :class:`Session`; ``python -m repro`` and the experiment
+matrix are thin clients of it.
+
+Layer 2 -- :mod:`repro.service.fleet` and friends -- multiplexes many
+named sessions onto a pool of worker processes with LRU eviction of
+cold sessions to checkpoint files, warm-restore on any worker
+(migration), and supervisor-backed crash recovery, behind an asyncio
+front end::
+
+    python -m repro.service serve --workers 4
+    python -m repro.service loadtest --sessions 60 --workers 4
+
+The load-test harness is the determinism gate: the same scripted
+request stream yields byte-identical results artifacts at any worker
+count, including serial in-process execution.
+"""
+
+from .fleet import Fleet, SessionHost
+from .frontend import Frontend
+from .loadtest import build_script, loadtest_json, run_loadtest
+from .session import (
+    SERVICE_FORMAT_VERSION,
+    Session,
+    arch_hash,
+    booted_workload,
+    clear_boot_cache,
+    config_from_signature,
+    valid_session_name,
+)
+
+__all__ = [
+    "SERVICE_FORMAT_VERSION",
+    "Fleet",
+    "Frontend",
+    "Session",
+    "SessionHost",
+    "arch_hash",
+    "booted_workload",
+    "build_script",
+    "clear_boot_cache",
+    "config_from_signature",
+    "loadtest_json",
+    "run_loadtest",
+    "valid_session_name",
+]

@@ -1,0 +1,157 @@
+"""Command-line driver for the service: ``python -m repro.service``.
+
+``serve`` starts the asyncio front end over a worker fleet; ``loadtest``
+replays the scripted session stream and writes the canonical-JSON
+results artifact CI compares byte-for-byte across worker counts;
+``bench`` runs the scaling/admission sweep and writes
+BENCH_service.json-shaped output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from .bench import run_service_bench
+from .fleet import Fleet
+from .frontend import Frontend
+from .loadtest import ROTATION, loadtest_json, run_loadtest, summarize
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    fleet = Fleet(
+        workers=args.workers,
+        capacity=args.capacity,
+        prewarm=[(workload, {}, None) for workload in ROTATION],
+        checkpoint_interval=args.checkpoint_interval,
+        max_retries=args.max_retries,
+    )
+    frontend = Frontend(fleet)
+
+    def ready(addr) -> None:
+        print(f"repro.service listening on {addr[0]}:{addr[1]}", flush=True)
+
+    try:
+        asyncio.run(frontend.serve(args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        fleet.close()
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
+    artifact, stats = run_loadtest(
+        sessions=args.sessions,
+        workers=args.workers,
+        capacity=args.capacity,
+        slice_cycles=args.slice_cycles,
+        max_cycles=args.max_cycles,
+        seed=args.seed,
+        fault_every=args.fault_every,
+        checkpoint_interval=args.checkpoint_interval,
+        max_retries=args.max_retries,
+        serial=args.serial,
+    )
+    seconds = time.perf_counter() - start
+    text = loadtest_json(artifact)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"loadtest artifact -> {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    counts = summarize(artifact)
+    report = dict(counts, seconds=round(seconds, 3), **stats)
+    print(f"loadtest: {json.dumps(report, sort_keys=True)}", file=sys.stderr)
+    # Unrecovered *faulted* sessions are measurements; a clean session
+    # failing (or not verifying) is a real defect.
+    clean_ok = all(
+        r["verified"] for r in artifact["results"].values() if not r["faulted"]
+    )
+    return 0 if clean_ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    worker_counts = tuple(int(n) for n in args.workers.split(","))
+    result = run_service_bench(
+        worker_counts,
+        sessions=args.sessions,
+        capacity=args.capacity,
+        slice_cycles=args.slice_cycles,
+        seed=args.seed,
+    )
+    text = json.dumps(result, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"benchmark -> {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    ok = all(row["verified"] > 0 for row in result["scaling"])
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="multi-tenant Dorado simulation service",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = sub.add_parser("serve", help="asyncio front end over a fleet")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="0 picks an ephemeral port (printed on start)")
+    serve_p.add_argument("--workers", type=int, default=2)
+    serve_p.add_argument("--capacity", type=int, default=8,
+                         help="global live-session budget (LRU beyond it)")
+    serve_p.add_argument("--checkpoint-interval", type=int, default=2000)
+    serve_p.add_argument("--max-retries", type=int, default=3)
+    serve_p.set_defaults(func=_cmd_serve)
+
+    load_p = sub.add_parser(
+        "loadtest", help="scripted determinism/throughput harness"
+    )
+    load_p.add_argument("--sessions", type=int, default=60)
+    load_p.add_argument("--workers", type=int, default=1)
+    load_p.add_argument("--capacity", type=int, default=12,
+                        help="kept far below --sessions to force "
+                             "evictions and migrations")
+    load_p.add_argument("--slice-cycles", type=int, default=1200)
+    load_p.add_argument("--max-cycles", type=int, default=240_000)
+    load_p.add_argument("--seed", type=int, default=17)
+    load_p.add_argument("--fault-every", type=int, default=3,
+                        help="every Nth session gets a seeded fault plan "
+                             "(0 disables)")
+    load_p.add_argument("--checkpoint-interval", type=int, default=600)
+    load_p.add_argument("--max-retries", type=int, default=4)
+    load_p.add_argument("--serial", action="store_true",
+                        help="plain in-process sessions, no fleet: the "
+                             "byte-identity ground truth")
+    load_p.add_argument("--output", default=None,
+                        help="write the canonical artifact here instead "
+                             "of stdout")
+    load_p.set_defaults(func=_cmd_loadtest)
+
+    bench_p = sub.add_parser("bench", help="scaling + admission sweep")
+    bench_p.add_argument("--workers", default="1,2,4",
+                         help="comma-separated worker counts")
+    bench_p.add_argument("--sessions", type=int, default=30)
+    bench_p.add_argument("--capacity", type=int, default=8)
+    bench_p.add_argument("--slice-cycles", type=int, default=1200)
+    bench_p.add_argument("--seed", type=int, default=17)
+    bench_p.add_argument("--output", default=None,
+                         help="write JSON here instead of stdout")
+    bench_p.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Service throughput benchmark: BENCH_service.json.
+
+Two measurements (DESIGN.md 5.9):
+
+* **scaling** -- the scripted load test at 1/2/4 workers: wall-clock
+  sessions-per-second and aggregate simulated cycles-per-second.  The
+  simulated results are byte-identical at every worker count (that is
+  CI-gated); only the wall clock moves.
+* **admission** -- what it costs to put a session on a worker: cold
+  boot (build + assemble microcode + boot), warm fork (boot-cache hit),
+  and warm restore (fork + checkpoint restore, the migration path),
+  as seconds per admission.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Any, Dict, Sequence
+
+from .loadtest import run_loadtest, summarize
+from .session import Session, clear_boot_cache
+
+
+def _admission(repeats: int = 5) -> Dict[str, Any]:
+    """Seconds per session admission, by path."""
+    workload = "mesa_loop_sum"
+
+    clear_boot_cache()
+    start = time.perf_counter()
+    for index in range(repeats):
+        clear_boot_cache()
+        Session.build(workload, name=f"cold{index}")
+    cold = (time.perf_counter() - start) / repeats
+
+    Session.build(workload, name="warmup")  # populate the cache
+    start = time.perf_counter()
+    for index in range(repeats):
+        Session.build(workload, name=f"warm{index}")
+    warm_fork = (time.perf_counter() - start) / repeats
+
+    donor = Session.build(workload, name="donor")
+    donor.run_slice(1500)
+    envelope = donor.suspend()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        Session.resume(envelope)
+    warm_restore = (time.perf_counter() - start) / repeats
+
+    return {
+        "repeats": repeats,
+        "workload": workload,
+        "cold_boot_seconds": round(cold, 6),
+        "warm_fork_seconds": round(warm_fork, 6),
+        "warm_restore_seconds": round(warm_restore, 6),
+        "cold_over_warm_fork": round(cold / warm_fork, 2),
+        "cold_over_warm_restore": round(cold / warm_restore, 2),
+    }
+
+
+def run_service_bench(
+    worker_counts: Sequence[int] = (1, 2, 4),
+    *,
+    sessions: int = 30,
+    capacity: int = 8,
+    slice_cycles: int = 1200,
+    seed: int = 17,
+) -> Dict[str, Any]:
+    """The BENCH_service.json payload."""
+    scaling = []
+    for workers in worker_counts:
+        start = time.perf_counter()
+        artifact, stats = run_loadtest(
+            sessions=sessions,
+            workers=workers,
+            capacity=capacity,
+            slice_cycles=slice_cycles,
+            seed=seed,
+        )
+        seconds = time.perf_counter() - start
+        counts = summarize(artifact)
+        scaling.append({
+            "workers": workers,
+            "sessions": sessions,
+            "capacity": capacity,
+            "seconds": round(seconds, 3),
+            "sessions_per_second": round(sessions / seconds, 2),
+            "cycles_per_second": round(counts["total_cycles"] / seconds),
+            "verified": counts["verified"],
+            "recovered_faulted": counts["recovered"],
+            "evictions": stats.get("evictions", 0),
+            "migrations": stats.get("migrations", 0),
+        })
+    return {
+        "benchmark": "simulation-service fleet (sessions over forked workers)",
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "loadtest": {
+            "sessions": sessions,
+            "capacity": capacity,
+            "slice_cycles": slice_cycles,
+            "seed": seed,
+        },
+        "scaling": scaling,
+        "admission": _admission(),
+    }

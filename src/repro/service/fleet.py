@@ -1,0 +1,445 @@
+"""The session fleet: worker pool, LRU eviction, migration (DESIGN.md 5.9).
+
+A :class:`Fleet` multiplexes many named :class:`~repro.service.session.
+Session` objects onto a pool of forked worker processes.  Each worker
+runs a :class:`SessionHost` command loop over a pipe and serves
+sessions from forks of its (inherited, prewarmed) boot cache; the
+coordinator owns all placement and capacity decisions.
+
+Determinism across worker counts is a design invariant, not an
+accident:
+
+* placement is round-robin in request order and capacity is *global*
+  (one live-session budget for the whole fleet, not per worker), so
+  which sessions are live, and which get evicted when, depends only on
+  the request stream;
+* eviction suspends the least-recently-used session to a canonical-JSON
+  envelope on disk, and resumption restores that envelope on whichever
+  worker round-robin points at next -- routinely a *different* worker
+  (migration) -- which PR 4's byte-identical restore makes invisible to
+  the session's trajectory;
+* results record only simulated quantities, never worker identity.
+
+So a fleet of 1, 2, or 4 workers -- or no fleet at all (the load test's
+serial mode) -- produces byte-identical session results for the same
+scripted request stream.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import os
+import shutil
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DoradoError, ServiceError
+from .session import Session, booted_workload, valid_session_name
+
+
+# --------------------------------------------------------------------------
+# the host: a dict of live sessions behind a message protocol
+# --------------------------------------------------------------------------
+
+class SessionHost:
+    """Live sessions in one process, driven by plain-dict messages.
+
+    The message protocol is the worker wire format; running it in-process
+    (the fork-less fallback, and the tests) exercises the same code path
+    the forked workers run.  Failures *of a run* come back as data
+    (``status: failed`` with the failure string); only protocol errors
+    (unknown session, duplicate open) surface as ``ok: False``.
+    """
+
+    def __init__(self) -> None:
+        self.sessions: Dict[str, Session] = {}
+
+    def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            return self._dispatch(message)
+        except DoradoError as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _session(self, name: str) -> Session:
+        try:
+            return self.sessions[name]
+        except KeyError:
+            raise ServiceError(
+                f"session {name!r} is not live on this worker"
+            ) from None
+
+    def _run(self, name: str, cycles: int) -> Dict[str, Any]:
+        session = self._session(name)
+        try:
+            session.run_slice(cycles)
+        except DoradoError:
+            pass  # recorded on the session; reported as data below
+        return {
+            "name": name,
+            "status": session.status,
+            "cycles": session.cpu.counters.cycles,
+            "halted": session.cpu.halted,
+            "failure": session.failure,
+        }
+
+    def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message["op"]
+        if op == "open":
+            name = message["name"]
+            if name in self.sessions:
+                raise ServiceError(
+                    f"session {name!r} is already live on this worker"
+                )
+            self.sessions[name] = Session.build(
+                message["workload"],
+                name=name,
+                args=message.get("args"),
+                config=message.get("config"),
+                fault=message.get("fault"),
+                supervise=message.get("supervise"),
+                checkpoint_interval=message.get("checkpoint_interval", 2000),
+                max_retries=message.get("max_retries", 3),
+            )
+            return {"ok": True, "name": name}
+        if op == "resume":
+            session = Session.resume(message["envelope"])
+            if session.name in self.sessions:
+                raise ServiceError(
+                    f"session {session.name!r} is already live on this worker"
+                )
+            self.sessions[session.name] = session
+            return {"ok": True, "name": session.name}
+        if op == "run":
+            return {"ok": True, **self._run(message["name"], message["cycles"])}
+        if op == "run_batch":
+            return {"ok": True, "replies": [
+                self._run(name, cycles) for name, cycles in message["items"]
+            ]}
+        if op == "suspend":
+            name = message["name"]
+            envelope = self._session(name).suspend()
+            del self.sessions[name]
+            return {"ok": True, "envelope": envelope}
+        if op == "result":
+            return {"ok": True, "result": self._session(message["name"]).result()}
+        if op == "meter":
+            return {"ok": True, "meter": self._session(message["name"]).meter()}
+        if op == "close":
+            self.sessions.pop(message["name"], None)
+            return {"ok": True}
+        if op == "stats":
+            return {"ok": True, "sessions": sorted(self.sessions)}
+        raise ServiceError(f"unknown op {op!r}")
+
+
+# --------------------------------------------------------------------------
+# transports: a forked process, or the same host inline
+# --------------------------------------------------------------------------
+
+def _host_main(conn) -> None:
+    """Worker process entry point: serve messages until ``exit``."""
+    host = SessionHost()
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        if message.get("op") == "exit":
+            conn.close()
+            return
+        conn.send(host.handle(message))
+
+
+class ProcessHost:
+    """A SessionHost in a forked worker, spoken to over a pipe."""
+
+    def __init__(self, ctx) -> None:
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(target=_host_main, args=(child,), daemon=True)
+        self._proc.start()
+        child.close()
+
+    def send(self, message: Dict[str, Any]) -> None:
+        self._conn.send(message)
+
+    def recv(self) -> Dict[str, Any]:
+        try:
+            return self._conn.recv()
+        except EOFError:
+            raise ServiceError("worker process died mid-request") from None
+
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self.send(message)
+        return self.recv()
+
+    def close(self) -> None:
+        try:
+            self._conn.send({"op": "exit"})
+        except (BrokenPipeError, OSError):
+            pass
+        self._conn.close()
+        self._proc.join(timeout=30)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+
+
+class InlineHost:
+    """The fork-less fallback: same protocol, same process.
+
+    ``send`` queues and ``recv`` executes, preserving the fleet's
+    send-all-then-collect batching discipline (and its reply ordering)
+    without real concurrency.
+    """
+
+    def __init__(self) -> None:
+        self._host = SessionHost()
+        self._pending: collections.deque = collections.deque()
+
+    def send(self, message: Dict[str, Any]) -> None:
+        self._pending.append(message)
+
+    def recv(self) -> Dict[str, Any]:
+        return self._host.handle(self._pending.popleft())
+
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self.send(message)
+        return self.recv()
+
+    def close(self) -> None:
+        self._pending.clear()
+        self._host.sessions.clear()
+
+
+# --------------------------------------------------------------------------
+# the fleet
+# --------------------------------------------------------------------------
+
+class Fleet:
+    """N workers, one global LRU budget, checkpoint files as currency."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        capacity: int = 8,
+        spool_dir: Optional[str] = None,
+        prewarm: Sequence[Tuple[str, Dict[str, Any], Any]] = (),
+        checkpoint_interval: int = 2000,
+        max_retries: int = 3,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.checkpoint_interval = checkpoint_interval
+        self.max_retries = max_retries
+        self._own_spool = spool_dir is None
+        self.spool_dir = spool_dir or tempfile.mkdtemp(prefix="repro-fleet-")
+        os.makedirs(self.spool_dir, exist_ok=True)
+        # Warm the boot cache BEFORE forking so every worker inherits the
+        # pristine booted templates (microcode assembly paid once).
+        from ..config import PRODUCTION
+
+        for wname, wargs, wconfig in prewarm:
+            booted_workload(
+                wname,
+                tuple(sorted((wargs or {}).items())),
+                wconfig if wconfig is not None else PRODUCTION,
+            )
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+            self.hosts: List[Any] = [ProcessHost(ctx) for _ in range(workers)]
+        else:
+            # No fork, no shared boot cache to inherit: run the same
+            # protocol inline.  Determinism is unaffected.
+            self.hosts = [InlineHost()]
+        self._live: Dict[str, int] = {}          # name -> worker index
+        self._lru: "collections.OrderedDict[str, None]" = (
+            collections.OrderedDict()
+        )
+        self._spooled: Dict[str, str] = {}       # name -> envelope path
+        self._last_host: Dict[str, int] = {}     # name -> last worker index
+        self._rr = 0
+        self.counters = {
+            "opened": 0, "evictions": 0, "resumes": 0, "migrations": 0,
+        }
+
+    # -- plumbing ------------------------------------------------------
+
+    def _call(self, worker: int, message: Dict[str, Any]) -> Dict[str, Any]:
+        reply = self.hosts[worker].call(message)
+        if not reply.get("ok"):
+            raise ServiceError(f"worker {worker}: {reply.get('error')}")
+        return reply
+
+    def _place(self) -> int:
+        worker = self._rr % len(self.hosts)
+        self._rr += 1
+        return worker
+
+    def _admit(self, name: str, worker: int) -> None:
+        self._live[name] = worker
+        self._lru[name] = None
+        self._lru.move_to_end(name)
+
+    def _touch(self, name: str) -> None:
+        self._lru.move_to_end(name)
+
+    def _make_room(self) -> None:
+        while len(self._live) >= self.capacity:
+            self._evict(next(iter(self._lru)))
+
+    def _evict(self, name: str) -> str:
+        """Suspend the session to its spool file; forget it on the worker."""
+        worker = self._live.pop(name)
+        self._lru.pop(name)
+        reply = self._call(worker, {"op": "suspend", "name": name})
+        path = os.path.join(self.spool_dir, f"{name}.session.json")
+        with open(path, "w") as f:
+            f.write(reply["envelope"])
+        self._spooled[name] = path
+        self._last_host[name] = worker
+        self.counters["evictions"] += 1
+        return path
+
+    # -- the session API ----------------------------------------------
+
+    def open_session(
+        self,
+        name: str,
+        workload: str,
+        *,
+        args: Optional[Dict[str, Any]] = None,
+        config: Any = None,
+        fault: Optional[Dict[str, Any]] = None,
+        supervise: Optional[bool] = None,
+    ) -> int:
+        """Admit a new named session; returns the worker it landed on."""
+        if not valid_session_name(name):
+            raise ServiceError(f"invalid session name {name!r}")
+        if name in self._live or name in self._spooled:
+            raise ServiceError(f"session {name!r} already exists")
+        self._make_room()
+        worker = self._place()
+        self._call(worker, {
+            "op": "open", "name": name, "workload": workload,
+            "args": dict(args or {}), "config": config, "fault": fault,
+            "supervise": supervise,
+            "checkpoint_interval": self.checkpoint_interval,
+            "max_retries": self.max_retries,
+        })
+        self._admit(name, worker)
+        self.counters["opened"] += 1
+        return worker
+
+    def ensure_live(self, name: str) -> int:
+        """The worker hosting *name*, resuming its envelope if spooled."""
+        if name in self._live:
+            self._touch(name)
+            return self._live[name]
+        path = self._spooled.get(name)
+        if path is None:
+            raise ServiceError(f"unknown session {name!r}")
+        self._make_room()
+        worker = self._place()
+        with open(path) as f:
+            envelope = f.read()
+        self._call(worker, {"op": "resume", "envelope": envelope})
+        os.unlink(path)
+        del self._spooled[name]
+        self._admit(name, worker)
+        self.counters["resumes"] += 1
+        if self._last_host.get(name, worker) != worker:
+            self.counters["migrations"] += 1
+        return worker
+
+    def run_slice(self, name: str, cycles: int) -> Dict[str, Any]:
+        worker = self.ensure_live(name)
+        reply = self._call(worker, {
+            "op": "run", "name": name, "cycles": cycles,
+        })
+        return {k: v for k, v in reply.items() if k != "ok"}
+
+    def run_round(
+        self, names: Sequence[str], cycles: int
+    ) -> Dict[str, Dict[str, Any]]:
+        """One slice for every named session, workers running in parallel.
+
+        Sessions are handled in capacity-sized waves (so a round over
+        more sessions than the live budget churns the LRU exactly as
+        consecutive single slices would), grouped by hosting worker,
+        with each worker's batch dispatched before any is collected.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        names = list(names)
+        for start in range(0, len(names), self.capacity):
+            wave = names[start:start + self.capacity]
+            batches: Dict[int, List[str]] = {}
+            for name in wave:
+                batches.setdefault(self.ensure_live(name), []).append(name)
+            order = sorted(batches)
+            for worker in order:
+                self.hosts[worker].send({
+                    "op": "run_batch",
+                    "items": [(name, cycles) for name in batches[worker]],
+                })
+            for worker in order:
+                reply = self.hosts[worker].recv()
+                if not reply.get("ok"):
+                    raise ServiceError(
+                        f"worker {worker}: {reply.get('error')}"
+                    )
+                for row in reply["replies"]:
+                    out[row["name"]] = row
+        return out
+
+    def result(self, name: str) -> Dict[str, Any]:
+        worker = self.ensure_live(name)
+        return self._call(worker, {"op": "result", "name": name})["result"]
+
+    def meter(self, name: str) -> Dict[str, Any]:
+        worker = self.ensure_live(name)
+        return self._call(worker, {"op": "meter", "name": name})["meter"]
+
+    def suspend(self, name: str) -> str:
+        """Force-evict *name*; returns its envelope path."""
+        if name in self._live:
+            return self._evict(name)
+        path = self._spooled.get(name)
+        if path is None:
+            raise ServiceError(f"unknown session {name!r}")
+        return path
+
+    def close_session(self, name: str) -> None:
+        if name in self._live:
+            worker = self._live.pop(name)
+            self._lru.pop(name)
+            self._call(worker, {"op": "close", "name": name})
+        path = self._spooled.pop(name, None)
+        if path is not None and os.path.exists(path):
+            os.unlink(path)
+        self._last_host.pop(name, None)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "workers": len(self.hosts),
+            "capacity": self.capacity,
+            "live": sorted(self._live),
+            "spooled": sorted(self._spooled),
+            **self.counters,
+        }
+
+    def close(self) -> None:
+        for host in self.hosts:
+            host.close()
+        if self._own_spool:
+            shutil.rmtree(self.spool_dir, ignore_errors=True)
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

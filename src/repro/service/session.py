@@ -1,0 +1,469 @@
+"""One workload's lifecycle as a service object (DESIGN.md 5.9).
+
+A :class:`Session` owns everything ``python -m repro`` used to hand-wire
+inline: building a booted machine for a (workload, args, config) triple,
+restoring a checkpoint into it, running in bounded slices so one session
+cannot monopolize a worker, supervised recovery for faulted
+configurations, per-session metering from a :class:`~repro.core.
+counters.Counters` baseline, and suspend/resume through a canonical-JSON
+envelope -- the eviction/migration currency of the fleet
+(:mod:`repro.service.fleet`).
+
+The module also owns the process-local *boot cache* (moved here from
+``repro.exp.matrix``): the first session needing a (workload, args,
+config) machine builds and boots it once, and every later session starts
+from a :meth:`~repro.core.processor.Processor.fork` of the pristine
+boot, so microcode assembly is paid once per process.  Only fault-free
+configs are cached -- a seeded fault plan is single-use and would only
+pin memory -- which also keeps faulted machines bit-identical to direct
+construction, the basis of the existing golden pins.
+
+Determinism contract: a session's trajectory is a pure function of its
+(workload, args, config, fault seed) identity and the sequence of slice
+budgets it is granted.  Where it ran, whether it was evicted and resumed
+elsewhere, and how often, are invisible -- suspend/resume round-trips
+byte-identically (PR 4) and supervised recovery converges byte-
+identically (PR 5) -- which is what lets the fleet prove N-worker runs
+equal to serial ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import re
+from typing import Any, Dict, Optional, Tuple
+
+from ..config import PRODUCTION, MachineConfig
+from ..core.counters import Counters
+from ..errors import DoradoError, EmulatorError, ServiceError
+from ..fault.plan import FaultConfig
+from ..perf.workloads import SliceResult, Workload
+from ..state import MachineState, canonical_json, parse_canonical_json
+
+#: Version tag of the suspend envelope; bumped when its layout changes.
+SERVICE_FORMAT_VERSION = 1
+
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
+
+
+def valid_session_name(name: Any) -> bool:
+    """Session names double as spool filenames; keep them filesystem-safe."""
+    return isinstance(name, str) and _NAME_RE.match(name) is not None
+
+
+def _resolve_builder(name: str):
+    """Workload factory for *name*, resolved lazily to dodge import cycles.
+
+    ``repro.exp`` imports this module (the boot cache lives here), so the
+    bypass kernels it contributes are looked up at call time, not import
+    time.
+    """
+    from ..perf.workloads import ALL_WORKLOADS
+
+    if name in ALL_WORKLOADS:
+        return ALL_WORKLOADS[name]
+    from ..exp.kernels import bypass_kernel, bypass_kernel_padded
+
+    extras = {
+        "bypass_kernel": bypass_kernel,
+        "bypass_kernel_padded": bypass_kernel_padded,
+    }
+    if name in extras:
+        return extras[name]
+    known = ", ".join(sorted(ALL_WORKLOADS) + sorted(extras))
+    raise ServiceError(f"unknown workload {name!r} (known: {known})")
+
+
+def _config_key(config: MachineConfig) -> str:
+    """Cache-key digest of a config (identity only, not an artifact)."""
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def config_from_signature(signature: Dict[str, Any]) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from a snapshot's config section.
+
+    The signature is ``dataclasses.asdict(config)`` (see
+    :func:`repro.state.config_signature`), so the nested fault plan comes
+    back as a plain dict and must be re-frozen first.
+    """
+    fields = dict(signature)
+    fault = fields.pop("fault_injection", None)
+    try:
+        return MachineConfig(
+            fault_injection=FaultConfig(**fault) if fault is not None else None,
+            **fields,
+        )
+    except TypeError as exc:
+        raise ServiceError(f"unusable config signature: {exc}") from exc
+
+
+# --------------------------------------------------------------------------
+# per-process boot cache: build once, fork per session
+# --------------------------------------------------------------------------
+
+#: (workload, args, config key) -> (Workload, pristine booted Processor).
+#: Process-local; fleet workers each grow their own on demand (or inherit
+#: a prewarmed parent cache across ``fork``).  Only fault-free configs
+#: are cached: seeded faulted configs are single-use.
+_BOOT_CACHE: Dict[Tuple[str, Tuple, str], Tuple[Workload, Any]] = {}
+
+
+def booted_workload(
+    name: str, args: Tuple = (), config: MachineConfig = PRODUCTION
+) -> Workload:
+    """A runnable workload on a fresh machine for *config*.
+
+    Cache hit: the stored pristine processor is forked and swapped into
+    the workload's context (every accessor and verify closure reads
+    ``ctx.cpu`` late, so the fork is the machine that runs).  Miss:
+    build, boot, and remember the pristine machine.
+    """
+    args = tuple(args)
+    key = (name, args, _config_key(config))
+    cached = _BOOT_CACHE.get(key) if config.fault_injection is None else None
+    if cached is None:
+        workload = _resolve_builder(name)(config=config, **dict(args))
+        if config.fault_injection is not None:
+            return workload
+        _BOOT_CACHE[key] = (workload, workload.ctx.cpu)
+        cached = _BOOT_CACHE[key]
+    workload, pristine = cached
+    workload.ctx.cpu = pristine.fork()
+    return workload
+
+
+def clear_boot_cache() -> None:
+    """Drop the process-local boot cache (tests use this)."""
+    _BOOT_CACHE.clear()
+
+
+def arch_hash(cpu) -> str:
+    """Short hash of the machine's architectural trajectory."""
+    from ..supervise import architectural_json
+
+    text = architectural_json(cpu.snapshot())
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------
+# the session
+# --------------------------------------------------------------------------
+
+class Session:
+    """One named workload run: build/restore, slice, suspend, meter.
+
+    Because booted workloads are shared through the boot cache (their
+    ``ctx.cpu`` is swapped per fork), a session pins its own machine in
+    ``self.cpu`` and re-binds the context before every operation; hosts
+    are single-threaded per process, so many live sessions of the same
+    workload coexist safely in one process.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        workload: Workload,
+        *,
+        supervise: bool = False,
+        checkpoint_interval: int = 2000,
+        max_retries: int = 3,
+        spec: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not valid_session_name(name):
+            raise ServiceError(f"invalid session name {name!r}")
+        self.name = name
+        self.workload = workload
+        self.cpu = workload.ctx.cpu
+        self.supervise = bool(supervise)
+        self.checkpoint_interval = checkpoint_interval
+        self.max_retries = max_retries
+        self.failure: Optional[str] = None
+        self._supervisor = None
+        self._spec = dict(spec) if spec else {
+            "workload": workload.name, "args": {},
+        }
+        self._meter_base = self.cpu.counters.state_dict()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        workload_name: str,
+        *,
+        name: Optional[str] = None,
+        args: Optional[Dict[str, Any]] = None,
+        config: Optional[MachineConfig] = None,
+        fault: Optional[Dict[str, Any]] = None,
+        supervise: Optional[bool] = None,
+        checkpoint_interval: int = 2000,
+        max_retries: int = 3,
+    ) -> "Session":
+        """Boot a fresh session for *workload_name*.
+
+        *fault* is a FaultConfig field template layered onto *config*;
+        *supervise* defaults to "whenever a fault plan is armed", the
+        fleet's recovery posture.
+        """
+        config = config if config is not None else PRODUCTION
+        if fault is not None:
+            try:
+                config = dataclasses.replace(
+                    config, fault_injection=FaultConfig(**dict(fault))
+                )
+            except TypeError as exc:
+                raise ServiceError(f"bad fault template: {exc}") from exc
+        if supervise is None:
+            supervise = config.fault_injection is not None
+        items = tuple(sorted((args or {}).items()))
+        workload = booted_workload(workload_name, items, config)
+        return cls(
+            name or workload_name,
+            workload,
+            supervise=supervise,
+            checkpoint_interval=checkpoint_interval,
+            max_retries=max_retries,
+            spec={"workload": workload_name, "args": dict(items)},
+        )
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+
+    @property
+    def ctx(self):
+        """The workload's context, bound to THIS session's machine."""
+        self.workload.ctx.cpu = self.cpu
+        return self.workload.ctx
+
+    @property
+    def halted(self) -> bool:
+        return self.cpu.halted
+
+    @property
+    def status(self) -> str:
+        if self.failure is not None:
+            return "failed"
+        return "halted" if self.cpu.halted else "running"
+
+    @property
+    def faulted(self) -> bool:
+        return self.cpu.config.fault_injection is not None
+
+    @property
+    def supervisor(self):
+        """The lazily-created recovery supervisor (None until first slice)."""
+        return self._supervisor
+
+    def _ensure_supervisor(self):
+        if self._supervisor is None:
+            from ..supervise import Supervisor
+
+            self._supervisor = Supervisor(
+                self.cpu,
+                checkpoint_interval=self.checkpoint_interval,
+                max_retries=self.max_retries,
+            )
+        return self._supervisor
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run_slice(self, cycles: int) -> SliceResult:
+        """Grant a bounded cycle budget; never raises past recording.
+
+        A failed session stays failed (the machine is left for
+        post-mortem); further slices are zero-cycle no-ops, as are
+        slices granted after HALT.
+        """
+        if cycles < 1:
+            raise ServiceError(f"slice budget must be positive, got {cycles}")
+        if self.failure is not None or self.cpu.halted:
+            return SliceResult(cycles=0, halted=self.cpu.halted)
+        self.workload.ctx.cpu = self.cpu  # re-bind the shared workload
+        try:
+            if self.supervise:
+                ran = self._ensure_supervisor().run(max_cycles=cycles)
+                return SliceResult(cycles=ran, halted=self.cpu.halted)
+            return self.workload.run_slice(cycles)
+        except DoradoError as exc:
+            self.failure = f"{type(exc).__name__}: {exc}"
+            raise
+
+    def run(
+        self, max_cycles: int = 5_000_000, slice_cycles: Optional[int] = None
+    ) -> int:
+        """Run to HALT (or budget exhaustion) and verify; return cycles ran.
+
+        The all-or-nothing entry point the CLI and the experiment matrix
+        use; raises the same :class:`EmulatorError` messages the
+        pre-session code paths raised.
+        """
+        total = 0
+        while total < max_cycles:
+            budget = max_cycles - total
+            step = min(slice_cycles, budget) if slice_cycles else budget
+            result = self.run_slice(step)
+            total += result.cycles
+            if result.halted or result.cycles == 0:
+                break
+        if not self.cpu.halted:
+            if self.supervise:
+                message = (
+                    f"{self.workload.name} did not halt within "
+                    f"{max_cycles} supervised cycles"
+                )
+            else:
+                message = f"workload {self.workload.name} did not halt"
+            self.failure = f"EmulatorError: {message}"
+            raise EmulatorError(message)
+        if not self.verify():
+            if self.supervise:
+                message = (
+                    f"{self.workload.name} halted but failed verification "
+                    f"under supervision"
+                )
+            else:
+                message = (
+                    f"workload {self.workload.name} computed a wrong result"
+                )
+            self.failure = f"EmulatorError: {message}"
+            raise EmulatorError(message)
+        return total
+
+    def verify(self) -> bool:
+        """The workload's correctness oracle against this session's machine."""
+        self.workload.ctx.cpu = self.cpu
+        return bool(self.workload.verify())
+
+    # ------------------------------------------------------------------
+    # state: load, suspend, resume
+    # ------------------------------------------------------------------
+
+    def load(self, state: MachineState) -> None:
+        """Restore a plain machine snapshot (the CLI's ``--load-state``).
+
+        Metering re-bases at the restored point: a session resumed from a
+        checkpoint meters the work *it* did, not its previous life's.
+        """
+        self.cpu.restore(state)
+        self._meter_base = self.cpu.counters.state_dict()
+
+    def suspend(self) -> str:
+        """The canonical-JSON suspend envelope (byte-identical per state).
+
+        Everything needed to resume on any worker rides along: the full
+        machine snapshot (whose config section includes the fault plan),
+        the supervision posture, and the metering baseline.  The live
+        supervisor is not serialized -- it re-checkpoints from the
+        restored state on the next slice, which PR 5's convergence
+        guarantees makes trajectory-invisible.
+        """
+        data = {
+            "service_version": SERVICE_FORMAT_VERSION,
+            "name": self.name,
+            "workload": self._spec.get("workload", self.workload.name),
+            "args": dict(self._spec.get("args", {})),
+            "supervise": self.supervise,
+            "checkpoint_interval": self.checkpoint_interval,
+            "max_retries": self.max_retries,
+            "failure": self.failure,
+            "meter_base": self._meter_base,
+            "machine": self.cpu.snapshot().data,
+        }
+        return canonical_json(data) + "\n"
+
+    def suspend_to(self, path) -> None:
+        with open(path, "w") as f:
+            f.write(self.suspend())
+
+    @classmethod
+    def resume(cls, envelope, *, name: Optional[str] = None) -> "Session":
+        """Rebuild a session from a suspend envelope (text or parsed)."""
+        data = (
+            parse_canonical_json(envelope)
+            if isinstance(envelope, str) else envelope
+        )
+        if not isinstance(data, dict):
+            raise ServiceError("suspend envelope is not a JSON object")
+        version = data.get("service_version")
+        if version != SERVICE_FORMAT_VERSION:
+            raise ServiceError(
+                f"suspend envelope version {version!r} unsupported "
+                f"(expected {SERVICE_FORMAT_VERSION})"
+            )
+        try:
+            machine = data["machine"]
+            config = config_from_signature(machine["config"])
+            items = tuple(sorted(dict(data["args"]).items()))
+            workload = booted_workload(data["workload"], items, config)
+            session = cls(
+                name or data["name"],
+                workload,
+                supervise=data["supervise"],
+                checkpoint_interval=data["checkpoint_interval"],
+                max_retries=data["max_retries"],
+                spec={"workload": data["workload"], "args": dict(data["args"])},
+            )
+            session.cpu.restore(MachineState(machine))
+            session.failure = data["failure"]
+            session._meter_base = data["meter_base"]
+        except KeyError as exc:
+            raise ServiceError(f"suspend envelope lacks {exc}") from exc
+        return session
+
+    @classmethod
+    def resume_from(cls, path, *, name: Optional[str] = None) -> "Session":
+        with open(path) as f:
+            return cls.resume(f.read(), name=name)
+
+    # ------------------------------------------------------------------
+    # metering and results
+    # ------------------------------------------------------------------
+
+    def meter(self) -> Dict[str, Any]:
+        """Counter deltas since admission (or the last restore/load)."""
+        base = Counters()
+        base.load_state(self._meter_base)
+        return self.cpu.counters.delta(base).summary()
+
+    def arch_hash(self) -> str:
+        return arch_hash(self.cpu)
+
+    def result(self) -> Dict[str, Any]:
+        """The session's deterministic measurement record.
+
+        Only simulated quantities -- no wall clock, no worker identity,
+        no eviction history -- so the record is byte-identical however
+        the fleet scheduled the session.
+        """
+        halted = self.cpu.halted
+        verified = (
+            self.verify() if halted and self.failure is None else False
+        )
+        faulted = self.faulted
+        return {
+            "workload": self._spec.get("workload", self.workload.name),
+            "args": dict(self._spec.get("args", {})),
+            "faulted": faulted,
+            "supervised": self.supervise,
+            "status": self.status,
+            "cycles": self.cpu.counters.cycles,
+            "halted": halted,
+            "verified": verified,
+            "recovered": (
+                (self.failure is None and halted and verified)
+                if faulted else None
+            ),
+            "failure": self.failure,
+            "arch_hash": self.arch_hash(),
+            "meter": self.meter(),
+        }

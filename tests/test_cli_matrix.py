@@ -88,6 +88,79 @@ def test_fault_plan_without_supervision_is_diagnosed(capsys, fault_plan):
     assert "fault trace" in out
 
 
+def test_load_state_then_supervise_finishes_midrun_checkpoint(
+    tmp_path, capsys
+):
+    """Restore a mid-run checkpoint and finish it under the Supervisor.
+
+    This is the fleet's recovery-after-migration path: a session
+    suspended mid-run resumes on a fresh machine and runs supervised to
+    completion, landing on the golden cycle count.
+    """
+    from repro.perf.workloads import mesa_loop_sum
+
+    donor = mesa_loop_sum()
+    donor.ctx.run(3000)
+    assert not donor.ctx.halted  # genuinely mid-run
+    checkpoint = tmp_path / "mid.json"
+    donor.ctx.cpu.snapshot().save(checkpoint)
+
+    metrics = tmp_path / "metrics.json"
+    assert repro_main([
+        "--workload", "mesa_loop_sum",
+        "--load-state", str(checkpoint),
+        "--supervise", "--checkpoint-interval", "600",
+        "--metrics-json", str(metrics),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert f"restored {checkpoint} (cycle 3000)" in out
+    assert "recovery report" in out
+    snapshot = json.loads(metrics.read_text())
+    # The machine finishes exactly where an uninterrupted run would...
+    assert snapshot["counters"]["cycles"] == MESA_CYCLES
+    # ...and the reported run covers only the post-restore work.
+    assert snapshot["workload"]["cycles"] == MESA_CYCLES - 3000
+    assert f"mesa_loop_sum: {MESA_CYCLES - 3000} cycles, verified" in out
+
+
+def test_load_state_supervise_resumes_faulted_recovery(
+    tmp_path, capsys, fault_plan
+):
+    """A faulted run checkpointed mid-recovery finishes under --supervise."""
+    import dataclasses
+
+    from repro.config import PRODUCTION
+    from repro.fault.plan import FaultConfig
+    from repro.perf.workloads import mesa_loop_sum
+    from repro.supervise import Supervisor
+
+    config = dataclasses.replace(
+        PRODUCTION, fault_injection=FaultConfig(**DEMO_PLAN)
+    )
+    donor = mesa_loop_sum(config=config)
+    Supervisor(
+        donor.ctx.cpu, checkpoint_interval=600, max_retries=3
+    ).run(max_cycles=1500)
+    assert not donor.ctx.cpu.halted
+    checkpoint = tmp_path / "mid-faulted.json"
+    donor.ctx.cpu.snapshot().save(checkpoint)
+
+    metrics = tmp_path / "metrics.json"
+    assert repro_main([
+        "--workload", "mesa_loop_sum",
+        "--fault-plan", fault_plan,
+        "--load-state", str(checkpoint),
+        "--supervise", "--checkpoint-interval", "600",
+        "--metrics-json", str(metrics),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert f"restored {checkpoint}" in out
+    assert "verified" in out and "recovery report" in out
+    # Recovery converges: the finished machine sits on the clean count.
+    snapshot = json.loads(metrics.read_text())
+    assert snapshot["counters"]["cycles"] == MESA_CYCLES
+
+
 def test_save_then_load_state_roundtrip(tmp_path, capsys):
     state = tmp_path / "end.json"
     assert repro_main(["--workload", "mesa_loop_sum",
