@@ -22,6 +22,7 @@ def test_service_scaling_sweep(benchmark):
         kwargs={"sessions": 15, "capacity": 5},
         rounds=1,
     )
+    recovery = result["recovery_overhead"]
     rows = [
         (f"W={row['workers']} sessions/s | cycles/s", "--",
          f"{row['sessions_per_second']} | {row['cycles_per_second']:,}")
@@ -29,6 +30,9 @@ def test_service_scaling_sweep(benchmark):
     ] + [
         ("cold boot / warm restore admission", "--",
          f"{result['admission']['cold_over_warm_restore']}x"),
+        ("chaos recovery overhead", "--",
+         f"{recovery['overhead_ratio']}x "
+         f"(ceiling {recovery['overhead_ceiling']}x)"),
     ]
     report_rows("E18 service fleet scaling", rows)
     for row in result["scaling"]:
@@ -39,6 +43,11 @@ def test_service_scaling_sweep(benchmark):
     admission = result["admission"]
     assert admission["cold_boot_seconds"] > 0
     assert admission["warm_restore_seconds"] > 0
+    # The recovery bench is also a correctness gate: the stormy run must
+    # reproduce the clean artifact byte-for-byte, inside the ceiling.
+    assert recovery["artifact_identical"]
+    assert recovery["within_ceiling"]
+    assert recovery["recovery"]["worker_crashes"] > 0
 
 
 def test_warm_fork_admission_rate(benchmark):

@@ -208,5 +208,65 @@ class ServiceError(DoradoError):
     """
 
 
+class WorkerCrashed(ServiceError):
+    """A fleet worker process died (or its pipe closed) mid-request.
+
+    Carries the worker slot, the operation that was in flight, and the
+    session name(s) that operation addressed, so the fleet's recovery
+    path (and post-mortems) know exactly what was lost without a live
+    process to ask.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: int | None = None,
+        op: str | None = None,
+        sessions: tuple[str, ...] | list[str] = (),
+    ) -> None:
+        self.worker = worker
+        self.op = op
+        self.sessions = tuple(sessions)
+        where = []
+        if worker is not None:
+            where.append(f"worker {worker}")
+        if op is not None:
+            where.append(f"op {op!r}")
+        if self.sessions:
+            where.append(f"sessions {', '.join(self.sessions)}")
+        suffix = f" ({'; '.join(where)})" if where else ""
+        super().__init__(message + suffix)
+
+
+class CallTimeout(ServiceError):
+    """A fleet request got no reply in time (lost or stalled)."""
+
+
+class GarbledReply(ServiceError):
+    """A fleet worker's reply arrived corrupted or unparseable."""
+
+
+class SpoolCorruption(ServiceError):
+    """A spool checkpoint file failed its integrity checks.
+
+    Raised by :func:`repro.service.spool.spool_decode` for truncated
+    files, checksum mismatches, and unsupported envelope versions; the
+    fleet catches it and falls back to the previous spool generation.
+    """
+
+
+class OverloadError(ServiceError):
+    """The fleet exhausted every recovery avenue for a request.
+
+    The front end turns this into a structured shed-load reply carrying
+    ``retry_after`` (seconds) instead of tearing down the connection.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 30.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(f"{message} (retry after {retry_after:g}s)")
+
+
 class EmulatorError(DoradoError):
     """A byte-code program or emulator image is malformed."""

@@ -18,11 +18,36 @@ front end::
 The load-test harness is the determinism gate: the same scripted
 request stream yields byte-identical results artifacts at any worker
 count, including serial in-process execution.
+
+Layer 3 -- :mod:`repro.service.chaos` and :mod:`repro.service.spool`
+(DESIGN.md 5.10) -- makes the gate hold under fire: a seeded
+:class:`ServiceFaultPlan` SIGKILLs workers mid-request, drops and
+garbles protocol messages, and corrupts spool checkpoints, while the
+fleet's recovery machinery (idempotent retries, respawn + warm-restore
+from checksummed spool generations, journal replay, degradation to
+inline hosts) keeps the artifact byte-identical to the clean run::
+
+    python -m repro.service chaos --workers 4
 """
 
-from .fleet import Fleet, SessionHost
+from .chaos import (
+    CHAOS_TEMPLATE,
+    ChaosInjector,
+    ServiceFaultConfig,
+    ServiceFaultEvent,
+    ServiceFaultKind,
+    ServiceFaultPlan,
+)
+from .fleet import Fleet, InlineHost, ProcessHost, SessionHost
 from .frontend import Frontend
 from .loadtest import build_script, loadtest_json, run_loadtest
+from .spool import (
+    SPOOL_FORMAT_VERSION,
+    spool_decode,
+    spool_encode,
+    spool_read,
+    spool_write,
+)
 from .session import (
     SERVICE_FORMAT_VERSION,
     Session,
@@ -34,9 +59,18 @@ from .session import (
 )
 
 __all__ = [
-    "SERVICE_FORMAT_VERSION",
+    "CHAOS_TEMPLATE",
+    "ChaosInjector",
     "Fleet",
     "Frontend",
+    "InlineHost",
+    "ProcessHost",
+    "SERVICE_FORMAT_VERSION",
+    "SPOOL_FORMAT_VERSION",
+    "ServiceFaultConfig",
+    "ServiceFaultEvent",
+    "ServiceFaultKind",
+    "ServiceFaultPlan",
     "Session",
     "SessionHost",
     "arch_hash",
@@ -46,5 +80,9 @@ __all__ = [
     "config_from_signature",
     "loadtest_json",
     "run_loadtest",
+    "spool_decode",
+    "spool_encode",
+    "spool_read",
+    "spool_write",
     "valid_session_name",
 ]

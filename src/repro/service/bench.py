@@ -1,6 +1,6 @@
 """Service throughput benchmark: BENCH_service.json.
 
-Two measurements (DESIGN.md 5.9):
+Three measurements (DESIGN.md 5.9 and 5.10):
 
 * **scaling** -- the scripted load test at 1/2/4 workers: wall-clock
   sessions-per-second and aggregate simulated cycles-per-second.  The
@@ -10,6 +10,13 @@ Two measurements (DESIGN.md 5.9):
   boot (build + assemble microcode + boot), warm fork (boot-cache hit),
   and warm restore (fork + checkpoint restore, the migration path),
   as seconds per admission.
+* **recovery_overhead** -- the same loadtest clean and under the
+  default chaos storm (worker kills, message loss, spool corruption)
+  at a matched request stream: sessions-per-second both ways, the
+  overhead ratio, and the proof obligation that the two artifacts are
+  byte-identical.  The ratio is the price of surviving the storm --
+  respawned workers, replayed journals, retried requests -- and the
+  bench asserts it stays under a generous ceiling.
 """
 
 from __future__ import annotations
@@ -19,8 +26,15 @@ import sys
 import time
 from typing import Any, Dict, Sequence
 
-from .loadtest import run_loadtest, summarize
+from .chaos import CHAOS_TEMPLATE
+from .loadtest import loadtest_json, run_loadtest, summarize
 from .session import Session, clear_boot_cache
+
+#: The recovery bench fails if chaos costs more than this many times
+#: the clean wall clock -- generous, because a respawn re-forks a
+#: worker and a restore replays journal suffixes, but a regression that
+#: makes recovery quadratic should trip it.
+RECOVERY_OVERHEAD_CEILING = 4.0
 
 
 def _admission(repeats: int = 5) -> Dict[str, Any]:
@@ -56,6 +70,53 @@ def _admission(repeats: int = 5) -> Dict[str, Any]:
         "warm_restore_seconds": round(warm_restore, 6),
         "cold_over_warm_fork": round(cold / warm_fork, 2),
         "cold_over_warm_restore": round(cold / warm_restore, 2),
+    }
+
+
+def _recovery_overhead(
+    *,
+    sessions: int,
+    capacity: int,
+    slice_cycles: int,
+    seed: int,
+    workers: int = 2,
+) -> Dict[str, Any]:
+    """Chaos vs clean sessions/s at a matched request stream."""
+    start = time.perf_counter()
+    clean_artifact, _ = run_loadtest(
+        sessions=sessions, workers=workers, capacity=capacity,
+        slice_cycles=slice_cycles, seed=seed,
+    )
+    clean_seconds = time.perf_counter() - start
+
+    chaos = dict(CHAOS_TEMPLATE, seed=1)
+    start = time.perf_counter()
+    chaos_artifact, chaos_stats = run_loadtest(
+        sessions=sessions, workers=workers, capacity=capacity,
+        slice_cycles=slice_cycles, seed=seed, chaos=chaos, max_respawns=1,
+    )
+    chaos_seconds = time.perf_counter() - start
+
+    identical = loadtest_json(chaos_artifact) == loadtest_json(clean_artifact)
+    overhead = chaos_seconds / clean_seconds
+    return {
+        "workers": workers,
+        "sessions": sessions,
+        "storm": chaos,
+        "clean_seconds": round(clean_seconds, 3),
+        "chaos_seconds": round(chaos_seconds, 3),
+        "clean_sessions_per_second": round(sessions / clean_seconds, 2),
+        "chaos_sessions_per_second": round(sessions / chaos_seconds, 2),
+        "overhead_ratio": round(overhead, 3),
+        "overhead_ceiling": RECOVERY_OVERHEAD_CEILING,
+        "within_ceiling": overhead <= RECOVERY_OVERHEAD_CEILING,
+        "artifact_identical": identical,
+        "recovery": {
+            key: chaos_stats.get(key, 0)
+            for key in ("worker_crashes", "respawns", "retries",
+                        "checkpoint_corruptions", "degrades", "checkpoints",
+                        "chaos_fired", "chaos_pending")
+        },
     }
 
 
@@ -106,4 +167,8 @@ def run_service_bench(
         },
         "scaling": scaling,
         "admission": _admission(),
+        "recovery_overhead": _recovery_overhead(
+            sessions=sessions, capacity=capacity,
+            slice_cycles=slice_cycles, seed=seed,
+        ),
     }

@@ -1,4 +1,5 @@
-"""The session fleet: worker pool, LRU eviction, migration (DESIGN.md 5.9).
+"""The session fleet: worker pool, LRU eviction, migration, recovery
+(DESIGN.md 5.9 and 5.10).
 
 A :class:`Fleet` multiplexes many named :class:`~repro.service.session.
 Session` objects onto a pool of forked worker processes.  Each worker
@@ -13,16 +14,28 @@ accident:
   (one live-session budget for the whole fleet, not per worker), so
   which sessions are live, and which get evicted when, depends only on
   the request stream;
-* eviction suspends the least-recently-used session to a canonical-JSON
-  envelope on disk, and resumption restores that envelope on whichever
-  worker round-robin points at next -- routinely a *different* worker
-  (migration) -- which PR 4's byte-identical restore makes invisible to
-  the session's trajectory;
+* eviction suspends the least-recently-used session to a checksummed
+  canonical-JSON envelope on disk, and resumption restores that
+  envelope on whichever worker round-robin points at next -- routinely
+  a *different* worker (migration) -- which PR 4's byte-identical
+  restore makes invisible to the session's trajectory;
 * results record only simulated quantities, never worker identity.
 
-So a fleet of 1, 2, or 4 workers -- or no fleet at all (the load test's
-serial mode) -- produces byte-identical session results for the same
-scripted request stream.
+PR 10 extends the invariant to *failure*: every request rides an
+idempotent request id (a worker deduplicates retries against its last
+reply), every acknowledged slice is journaled, and hot sessions are
+background-checkpointed to generational spool files -- so when a worker
+dies mid-request the fleet respawns the slot, warm-restores its
+sessions from their last valid spool generation (falling back past
+checksummed corruption), replays the journaled slices the checkpoint
+missed, and retries the in-flight request exactly once.  Lost or
+garbled messages retry with exponential backoff (injectable sleep, as
+in the :class:`~repro.supervise.Supervisor`); a slot that exhausts its
+respawn budget degrades to an in-process :class:`InlineHost`.  None of
+it can leak into results: a chaos run under a seeded
+:class:`~repro.service.chaos.ServiceFaultPlan` converges to an
+artifact byte-identical to the clean serial run, which the
+``service-chaos`` CI job enforces at workers 1/2/4.
 """
 
 from __future__ import annotations
@@ -32,10 +45,21 @@ import multiprocessing
 import os
 import shutil
 import tempfile
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import DoradoError, ServiceError
+from ..errors import (
+    CallTimeout,
+    DoradoError,
+    GarbledReply,
+    OverloadError,
+    ServiceError,
+    SpoolCorruption,
+    WorkerCrashed,
+)
+from .chaos import ChaosInjector, ServiceFaultConfig, ServiceFaultKind, ServiceFaultPlan
 from .session import Session, booted_workload, valid_session_name
+from .spool import spool_read, spool_write
 
 
 # --------------------------------------------------------------------------
@@ -50,16 +74,32 @@ class SessionHost:
     the forked workers run.  Failures *of a run* come back as data
     (``status: failed`` with the failure string); only protocol errors
     (unknown session, duplicate open) surface as ``ok: False``.
+
+    Messages may carry a coordinator-assigned ``req`` id, echoed on the
+    reply.  The host remembers its last (req, reply) pair and answers a
+    repeated id from that cache without re-executing -- the idempotence
+    that makes the fleet's retry-after-timeout and retry-after-garble
+    paths safe for non-repeatable operations like ``run`` and
+    ``suspend``.
     """
 
     def __init__(self) -> None:
         self.sessions: Dict[str, Session] = {}
+        self._last_req: Optional[int] = None
+        self._last_reply: Optional[Dict[str, Any]] = None
 
     def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        req = message.get("req")
+        if req is not None and req == self._last_req:
+            return self._last_reply  # duplicate of an already-served request
         try:
-            return self._dispatch(message)
+            reply = self._dispatch(message)
         except DoradoError as exc:
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if req is not None:
+            reply = dict(reply, req=req)
+            self._last_req, self._last_reply = req, reply
+        return reply
 
     def _session(self, name: str) -> Session:
         try:
@@ -121,6 +161,12 @@ class SessionHost:
             envelope = self._session(name).suspend()
             del self.sessions[name]
             return {"ok": True, "envelope": envelope}
+        if op == "checkpoint":
+            # A non-destructive suspend: the envelope without the evict.
+            # Snapshots are side-effect-free (PR 4), so checkpointing a
+            # hot session cannot perturb its trajectory.
+            envelope = self._session(message["name"]).suspend()
+            return {"ok": True, "envelope": envelope}
         if op == "result":
             return {"ok": True, "result": self._session(message["name"]).result()}
         if op == "meter":
@@ -151,34 +197,109 @@ def _host_main(conn) -> None:
         conn.send(host.handle(message))
 
 
-class ProcessHost:
-    """A SessionHost in a forked worker, spoken to over a pipe."""
+def _request_context(message: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The (op, session names) a request addressed, for crash reports."""
+    if not message:
+        return {"op": None, "sessions": ()}
+    names: List[str] = []
+    if "name" in message:
+        names.append(str(message["name"]))
+    for item in message.get("items", ()):
+        names.append(str(item[0]))
+    return {"op": message.get("op"), "sessions": tuple(names)}
 
-    def __init__(self, ctx) -> None:
+
+class ProcessHost:
+    """A SessionHost in a forked worker, spoken to over a pipe.
+
+    ``recv`` polls the pipe *and* the worker's liveness, so a child
+    that dies mid-request surfaces promptly as
+    :class:`~repro.errors.WorkerCrashed` -- carrying the worker slot,
+    the in-flight op, and the session names it addressed -- instead of
+    blocking the coordinator forever (the PR 9 latent bug the fleet's
+    crash recovery is built on).  An optional *timeout* bounds waiting
+    on a live-but-wedged worker with :class:`~repro.errors.CallTimeout`.
+    """
+
+    #: Seconds between liveness checks while waiting for a reply.
+    POLL_INTERVAL = 0.05
+
+    def __init__(self, ctx, index: int = 0) -> None:
+        self.index = index
+        self.last_request: Optional[Dict[str, Any]] = None
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(target=_host_main, args=(child,), daemon=True)
         self._proc.start()
         child.close()
 
-    def send(self, message: Dict[str, Any]) -> None:
-        self._conn.send(message)
+    def _crashed(self, doing: str) -> WorkerCrashed:
+        return WorkerCrashed(
+            f"worker process died {doing}",
+            worker=self.index,
+            **_request_context(self.last_request),
+        )
 
-    def recv(self) -> Dict[str, Any]:
+    def send(self, message: Dict[str, Any]) -> None:
+        self.last_request = message
         try:
-            return self._conn.recv()
-        except EOFError:
-            raise ServiceError("worker process died mid-request") from None
+            self._conn.send(message)
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise self._crashed(f"before the request was sent ({exc})") from exc
+
+    def recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if self._conn.poll(self.POLL_INTERVAL):
+                    return self._conn.recv()
+            except (EOFError, ConnectionError, OSError) as exc:
+                raise self._crashed("mid-request (pipe closed)") from exc
+            if not self._proc.is_alive():
+                # Drain the race: a reply flushed just before death.
+                try:
+                    if self._conn.poll(0):
+                        return self._conn.recv()
+                except (EOFError, ConnectionError, OSError):
+                    pass
+                raise self._crashed("mid-request")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise CallTimeout(
+                    f"worker {self.index} sent no reply within {timeout:g}s "
+                    f"({_request_context(self.last_request)['op']!r} pending)"
+                )
 
     def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
         self.send(message)
         return self.recv()
 
+    def kill(self) -> None:
+        """SIGKILL the worker (chaos injection and wedged-slot recovery)."""
+        if self._proc.is_alive():
+            self._proc.kill()
+
+    def is_alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def reap(self) -> None:
+        """Collect a dead worker's corpse and release its pipe."""
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():  # pragma: no cover - kill() precedes reap()
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+
     def close(self) -> None:
         try:
             self._conn.send({"op": "exit"})
-        except (BrokenPipeError, OSError):
+        except (BrokenPipeError, ConnectionError, OSError):
             pass
-        self._conn.close()
+        try:
+            self._conn.close()
+        except OSError:
+            pass
         self._proc.join(timeout=30)
         if self._proc.is_alive():
             self._proc.terminate()
@@ -190,7 +311,9 @@ class InlineHost:
 
     ``send`` queues and ``recv`` executes, preserving the fleet's
     send-all-then-collect batching discipline (and its reply ordering)
-    without real concurrency.
+    without real concurrency.  Also the degraded form of a worker slot
+    whose respawn budget ran out: it cannot crash, stall, or garble,
+    which is exactly why the fleet falls back to it.
     """
 
     def __init__(self) -> None:
@@ -200,7 +323,7 @@ class InlineHost:
     def send(self, message: Dict[str, Any]) -> None:
         self._pending.append(message)
 
-    def recv(self) -> Dict[str, Any]:
+    def recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         return self._host.handle(self._pending.popleft())
 
     def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -217,7 +340,25 @@ class InlineHost:
 # --------------------------------------------------------------------------
 
 class Fleet:
-    """N workers, one global LRU budget, checkpoint files as currency."""
+    """N workers, one global LRU budget, checkpoint files as currency.
+
+    Recovery knobs (all deterministic-by-construction):
+
+    * ``chaos`` -- a :class:`~repro.service.chaos.ServiceFaultConfig`
+      (or field dict) arming a seeded service-fault plan.
+    * ``checkpoint_every`` -- background-checkpoint a hot session to a
+      new spool generation every N acknowledged slices (0 disables);
+      bounds how much replay a crash can cost.
+    * ``spool_keep`` -- spool generations retained per session; the
+      corruption fallback depth.
+    * ``max_call_retries`` -- resend budget for lost/garbled/stalled
+      requests before the slot is treated as wedged and crash-recovered.
+    * ``max_respawns`` -- per-slot crash budget; beyond it the slot
+      degrades to an :class:`InlineHost` (or, with ``degrade=False``,
+      the fleet sheds load with :class:`~repro.errors.OverloadError`).
+    * ``backoff_base``/``sleep`` -- exponential retry backoff, injectable
+      exactly as in the :class:`~repro.supervise.Supervisor`.
+    """
 
     def __init__(
         self,
@@ -228,14 +369,41 @@ class Fleet:
         prewarm: Sequence[Tuple[str, Dict[str, Any], Any]] = (),
         checkpoint_interval: int = 2000,
         max_retries: int = 3,
+        chaos: Optional[Any] = None,
+        checkpoint_every: int = 8,
+        spool_keep: int = 2,
+        call_timeout: Optional[float] = 300.0,
+        max_call_retries: int = 3,
+        max_respawns: int = 2,
+        degrade: bool = True,
+        retry_after: float = 30.0,
+        backoff_base: float = 0.0,
+        sleep=time.sleep,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         if capacity < 1:
             raise ServiceError(f"capacity must be >= 1, got {capacity}")
+        if spool_keep < 1:
+            raise ServiceError(f"spool_keep must be >= 1, got {spool_keep}")
         self.capacity = capacity
         self.checkpoint_interval = checkpoint_interval
         self.max_retries = max_retries
+        self.checkpoint_every = checkpoint_every
+        self.spool_keep = spool_keep
+        self.call_timeout = call_timeout
+        self.max_call_retries = max_call_retries
+        self.max_respawns = max_respawns
+        self.allow_degrade = degrade
+        self.retry_after = retry_after
+        self.backoff_base = backoff_base
+        self._sleep = sleep
+        if chaos is not None and not isinstance(chaos, ServiceFaultConfig):
+            chaos = ServiceFaultConfig(**dict(chaos))
+        self._chaos: Optional[ChaosInjector] = (
+            ChaosInjector(ServiceFaultPlan.from_config(chaos))
+            if chaos is not None else None
+        )
         self._own_spool = spool_dir is None
         self.spool_dir = spool_dir or tempfile.mkdtemp(prefix="repro-fleet-")
         os.makedirs(self.spool_dir, exist_ok=True)
@@ -250,30 +418,299 @@ class Fleet:
                 wconfig if wconfig is not None else PRODUCTION,
             )
         if "fork" in multiprocessing.get_all_start_methods():
-            ctx = multiprocessing.get_context("fork")
-            self.hosts: List[Any] = [ProcessHost(ctx) for _ in range(workers)]
-        else:
+            self._ctx = multiprocessing.get_context("fork")
+            self.hosts: List[Any] = [
+                ProcessHost(self._ctx, index=i) for i in range(workers)
+            ]
+        else:  # pragma: no cover - exercised only on fork-less platforms
             # No fork, no shared boot cache to inherit: run the same
             # protocol inline.  Determinism is unaffected.
+            self._ctx = None
             self.hosts = [InlineHost()]
         self._live: Dict[str, int] = {}          # name -> worker index
         self._lru: "collections.OrderedDict[str, None]" = (
             collections.OrderedDict()
         )
-        self._spooled: Dict[str, str] = {}       # name -> envelope path
+        self._known: set = set()                 # every open (live or spooled)
+        self._opens: Dict[str, Dict[str, Any]] = {}   # name -> open message
+        self._history: Dict[str, List[int]] = {}      # acknowledged slices
+        self._ckpt_index: Dict[str, int] = {}    # history idx of last spool
+        self._gens: Dict[str, List[Tuple[str, int]]] = {}  # (path, hist idx)
+        self._gen_seq: Dict[str, int] = {}
         self._last_host: Dict[str, int] = {}     # name -> last worker index
+        self._reqs: Dict[int, int] = {}          # worker -> request counter
+        self._crash_counts: Dict[int, int] = {}  # worker -> crashes so far
         self._rr = 0
         self.counters = {
             "opened": 0, "evictions": 0, "resumes": 0, "migrations": 0,
+            "checkpoints": 0, "worker_crashes": 0, "respawns": 0,
+            "retries": 0, "checkpoint_corruptions": 0, "degrades": 0,
         }
 
-    # -- plumbing ------------------------------------------------------
+    # -- transport plumbing --------------------------------------------
 
-    def _call(self, worker: int, message: Dict[str, Any]) -> Dict[str, Any]:
-        reply = self.hosts[worker].call(message)
+    def _next_req(self, worker: int) -> int:
+        self._reqs[worker] = self._reqs.get(worker, 0) + 1
+        return self._reqs[worker]
+
+    def _dispatch(
+        self,
+        worker: int,
+        message: Dict[str, Any],
+        *,
+        req: Optional[int] = None,
+        chaos: bool = True,
+    ) -> Dict[str, Any]:
+        """Send one request; returns the pending record for ``_collect``.
+
+        A retry passes the original ``req`` so the worker's idempotence
+        cache can answer it without re-executing; recovery traffic
+        passes ``chaos=False`` so a fault storm cannot recurse into its
+        own cleanup.
+        """
+        host = self.hosts[worker]
+        if req is None:
+            req = self._next_req(worker)
+        message = dict(message, req=req)
+        pending: Dict[str, Any] = {"message": message, "req": req, "action": None}
+        if chaos and self._chaos is not None and isinstance(host, ProcessHost):
+            event = self._chaos.next_transport()
+            if event is not None:
+                pending["action"] = event.kind
+        if pending["action"] is ServiceFaultKind.MESSAGE_DROP:
+            return pending  # lost in transit: never actually sent
+        try:
+            host.send(message)
+        except WorkerCrashed:
+            pending["send_failed"] = True
+            return pending
+        if pending["action"] is ServiceFaultKind.WORKER_CRASH:
+            host.kill()  # SIGKILL mid-request, reply racing death
+        return pending
+
+    def _recv_matching(self, worker: int, req: int) -> Dict[str, Any]:
+        """The reply for *req*, discarding stale duplicates from retries."""
+        host = self.hosts[worker]
+        while True:
+            reply = host.recv(timeout=self.call_timeout)
+            if not isinstance(reply, dict):
+                raise GarbledReply(
+                    f"worker {worker} sent a non-dict reply: {reply!r}"
+                )
+            got = reply.get("req")
+            if got == req:
+                return reply
+            if isinstance(got, int) and got < req:
+                continue  # stale duplicate of an earlier, retried request
+            raise GarbledReply(
+                f"worker {worker} replied to request {got!r} "
+                f"while {req} was pending"
+            )
+
+    def _await_reply(self, worker: int, pending: Dict[str, Any]) -> Dict[str, Any]:
+        action = pending.pop("action", None)
+        req = pending["req"]
+        if action is ServiceFaultKind.MESSAGE_DROP:
+            raise CallTimeout(
+                f"request {req} to worker {worker} lost in transit (injected)"
+            )
+        if pending.pop("send_failed", False):
+            raise WorkerCrashed(
+                "worker pipe closed before the request was sent",
+                worker=worker,
+                **_request_context(pending["message"]),
+            )
+        reply = self._recv_matching(worker, req)
+        if action is ServiceFaultKind.WORKER_STALL:
+            raise CallTimeout(
+                f"worker {worker} stalled: reply {req} arrived too late "
+                f"(injected)"
+            )
+        if action is ServiceFaultKind.REPLY_GARBLE:
+            raise GarbledReply(
+                f"reply {req} from worker {worker} corrupted in transit "
+                f"(injected)"
+            )
+        return reply
+
+    def _collect(self, worker: int, pending: Dict[str, Any]) -> Dict[str, Any]:
+        """Wait out one pending request, recovering until it is answered."""
+        attempts = 0
+        while True:
+            try:
+                return self._await_reply(worker, pending)
+            except WorkerCrashed as exc:
+                self._recover_crash(worker, exc)
+                pending = self._dispatch(
+                    worker, pending["message"], req=pending["req"], chaos=False
+                )
+            except (CallTimeout, GarbledReply) as exc:
+                self.counters["retries"] += 1
+                attempts += 1
+                if attempts > self.max_call_retries:
+                    # The slot is wedged: treat it as crashed.  kill()
+                    # makes the diagnosis true before recovery acts on it.
+                    host = self.hosts[worker]
+                    if isinstance(host, ProcessHost):
+                        host.kill()
+                    self._recover_crash(worker, exc)
+                    pending = self._dispatch(
+                        worker, pending["message"], req=pending["req"],
+                        chaos=False,
+                    )
+                    attempts = 0
+                    continue
+                self._sleep(self.backoff_base * (2 ** (attempts - 1)))
+                pending = self._dispatch(
+                    worker, pending["message"], req=pending["req"]
+                )
+
+    def _call(
+        self, worker: int, message: Dict[str, Any], *, chaos: bool = True
+    ) -> Dict[str, Any]:
+        pending = self._dispatch(worker, message, chaos=chaos)
+        reply = self._collect(worker, pending)
         if not reply.get("ok"):
             raise ServiceError(f"worker {worker}: {reply.get('error')}")
         return reply
+
+    # -- crash recovery ------------------------------------------------
+
+    def _recover_crash(self, worker: int, cause: Exception) -> None:
+        """Respawn (or degrade) a dead slot and restore its sessions.
+
+        The restored sessions come from their last valid spool
+        generation plus a replay of the journaled slices the checkpoint
+        missed, so the slot rejoins the fleet with every session at
+        exactly the state the coordinator last acknowledged.  LRU order
+        is untouched: recovery must stay invisible to eviction
+        decisions, which are a pure function of the request stream.
+        """
+        self.counters["worker_crashes"] += 1
+        self._crash_counts[worker] = self._crash_counts.get(worker, 0) + 1
+        host = self.hosts[worker]
+        if isinstance(host, ProcessHost):
+            host.kill()
+            host.reap()
+        if self._crash_counts[worker] > self.max_respawns:
+            if not self.allow_degrade:
+                raise OverloadError(
+                    f"worker {worker} exceeded its respawn budget of "
+                    f"{self.max_respawns} and degradation is disabled",
+                    retry_after=self.retry_after,
+                ) from cause
+            self.hosts[worker] = InlineHost()
+            self.counters["degrades"] += 1
+        else:
+            self.hosts[worker] = ProcessHost(self._ctx, index=worker)
+            self.counters["respawns"] += 1
+        for name in sorted(n for n, w in self._live.items() if w == worker):
+            self._restore_lost(name, worker)
+
+    def _restore_lost(self, name: str, worker: int) -> None:
+        """Warm-restore one crashed session onto the replacement host."""
+        payload, replay_from = self._read_spool(name)
+        if payload is not None:
+            self._call(worker, {"op": "resume", "envelope": payload},
+                       chaos=False)
+        else:
+            # No valid spool generation (crashed before the first
+            # checkpoint, or every generation corrupt): rebuild from the
+            # original admission spec and replay the whole journal.
+            self._call(worker, dict(self._opens[name]), chaos=False)
+            replay_from = 0
+        self._replay(name, worker, replay_from)
+
+    def _replay(self, name: str, worker: int, start: int) -> None:
+        """Re-grant journaled slices the restored checkpoint has not seen.
+
+        Sessions are pure functions of their granted slice budgets
+        (DESIGN.md 5.9), so replaying the journal reconstructs the
+        acknowledged state bit-for-bit; replies are data and need no
+        inspection.
+        """
+        history = self._history.get(name, ())
+        for chunk_start in range(start, len(history), 64):
+            chunk = history[chunk_start:chunk_start + 64]
+            self._call(worker, {
+                "op": "run_batch",
+                "items": [(name, cycles) for cycles in chunk],
+            }, chaos=False)
+
+    # -- spool generations ---------------------------------------------
+
+    def _write_spool(self, name: str, envelope: str, index: int,
+                     *, evict: bool) -> str:
+        """Write a new checksummed spool generation for *name*.
+
+        *index* is the journal position the envelope captures; restore
+        replays everything after it.  Only eviction writes consume
+        chaos spool events -- the load test is guaranteed to read those
+        back, which keeps corruption *detection* deterministic.
+        """
+        gen = self._gen_seq[name] = self._gen_seq.get(name, 0) + 1
+        path = os.path.join(self.spool_dir, f"{name}.g{gen:06d}.spool")
+        spool_write(path, envelope)
+        gens = self._gens.setdefault(name, [])
+        gens.append((path, index))
+        while len(gens) > self.spool_keep:
+            old_path, _ = gens.pop(0)
+            try:
+                os.unlink(old_path)
+            except OSError:
+                pass
+        self._ckpt_index[name] = index
+        if evict and self._chaos is not None:
+            event = self._chaos.next_spool()
+            if event is not None:
+                self._mutate_spool(path, event)
+        return path
+
+    @staticmethod
+    def _mutate_spool(path: str, event) -> None:
+        """Apply an injected spool fault to a just-written file."""
+        with open(path, "rb") as f:
+            data = f.read()
+        if event.kind is ServiceFaultKind.SPOOL_TRUNCATE:
+            data = data[: event.arg % max(1, len(data))]
+        else:
+            pos = event.arg % max(1, len(data))
+            data = data[:pos] + bytes([data[pos] ^ 0x01]) + data[pos + 1:]
+        with open(path, "wb") as f:
+            f.write(data)
+
+    def _read_spool(self, name: str) -> Tuple[Optional[str], int]:
+        """The newest valid spool payload and its journal position.
+
+        Falls back through older generations on checksum failure,
+        counting each detection once (a generation caught corrupt is
+        pruned, never re-walked); ``(None, 0)`` means nothing on disk
+        survived and the caller must rebuild from the admission spec.
+        """
+        gens = self._gens.get(name, [])
+        for path, index in reversed(list(gens)):
+            try:
+                return spool_read(path), index
+            except FileNotFoundError:
+                gens.remove((path, index))
+            except SpoolCorruption:
+                self.counters["checkpoint_corruptions"] += 1
+                gens.remove((path, index))
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        return None, 0
+
+    def _drop_spool(self, name: str) -> None:
+        for path, _ in self._gens.pop(name, []):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._gen_seq.pop(name, None)
+
+    # -- placement and capacity ----------------------------------------
 
     def _place(self) -> int:
         worker = self._rr % len(self.hosts)
@@ -294,16 +731,34 @@ class Fleet:
 
     def _evict(self, name: str) -> str:
         """Suspend the session to its spool file; forget it on the worker."""
-        worker = self._live.pop(name)
-        self._lru.pop(name)
+        worker = self._live[name]
         reply = self._call(worker, {"op": "suspend", "name": name})
-        path = os.path.join(self.spool_dir, f"{name}.session.json")
-        with open(path, "w") as f:
-            f.write(reply["envelope"])
-        self._spooled[name] = path
+        self._live.pop(name)
+        self._lru.pop(name)
+        path = self._write_spool(
+            name, reply["envelope"], len(self._history.get(name, ())),
+            evict=True,
+        )
         self._last_host[name] = worker
         self.counters["evictions"] += 1
         return path
+
+    def _maybe_checkpoint(self, name: str, status: str) -> None:
+        """Background-checkpoint a hot session whose journal has grown.
+
+        Skipped for halted/failed sessions (their results are about to
+        be collected) and when disabled; the trigger depends only on
+        the per-session journal length, never on placement.
+        """
+        if not self.checkpoint_every or status != "running":
+            return
+        history_len = len(self._history.get(name, ()))
+        if history_len - self._ckpt_index.get(name, 0) < self.checkpoint_every:
+            return
+        worker = self._live[name]
+        reply = self._call(worker, {"op": "checkpoint", "name": name})
+        self._write_spool(name, reply["envelope"], history_len, evict=False)
+        self.counters["checkpoints"] += 1
 
     # -- the session API ----------------------------------------------
 
@@ -320,17 +775,26 @@ class Fleet:
         """Admit a new named session; returns the worker it landed on."""
         if not valid_session_name(name):
             raise ServiceError(f"invalid session name {name!r}")
-        if name in self._live or name in self._spooled:
+        if name in self._known:
             raise ServiceError(f"session {name!r} already exists")
         self._make_room()
         worker = self._place()
-        self._call(worker, {
+        message = {
             "op": "open", "name": name, "workload": workload,
             "args": dict(args or {}), "config": config, "fault": fault,
             "supervise": supervise,
             "checkpoint_interval": self.checkpoint_interval,
             "max_retries": self.max_retries,
-        })
+        }
+        self._opens[name] = message
+        self._history[name] = []
+        try:
+            self._call(worker, message)
+        except ServiceError:
+            self._opens.pop(name, None)
+            self._history.pop(name, None)
+            raise
+        self._known.add(name)
         self._admit(name, worker)
         self.counters["opened"] += 1
         return worker
@@ -340,16 +804,21 @@ class Fleet:
         if name in self._live:
             self._touch(name)
             return self._live[name]
-        path = self._spooled.get(name)
-        if path is None:
+        if name not in self._known:
             raise ServiceError(f"unknown session {name!r}")
         self._make_room()
         worker = self._place()
-        with open(path) as f:
-            envelope = f.read()
-        self._call(worker, {"op": "resume", "envelope": envelope})
-        os.unlink(path)
-        del self._spooled[name]
+        payload, replay_from = self._read_spool(name)
+        if payload is not None:
+            self._call(worker, {"op": "resume", "envelope": payload})
+        else:
+            # Every on-disk generation was corrupt (or none was ever
+            # written): rebuild from the admission spec and replay the
+            # whole journal -- graceful degradation of the spool, not
+            # an error the caller sees.
+            self._call(worker, dict(self._opens[name]), chaos=False)
+            replay_from = 0
+        self._replay(name, worker, replay_from)
         self._admit(name, worker)
         self.counters["resumes"] += 1
         if self._last_host.get(name, worker) != worker:
@@ -361,7 +830,9 @@ class Fleet:
         reply = self._call(worker, {
             "op": "run", "name": name, "cycles": cycles,
         })
-        return {k: v for k, v in reply.items() if k != "ok"}
+        self._history[name].append(cycles)
+        self._maybe_checkpoint(name, reply.get("status", ""))
+        return {k: v for k, v in reply.items() if k not in ("ok", "req")}
 
     def run_round(
         self, names: Sequence[str], cycles: int
@@ -372,6 +843,8 @@ class Fleet:
         more sessions than the live budget churns the LRU exactly as
         consecutive single slices would), grouped by hosting worker,
         with each worker's batch dispatched before any is collected.
+        A worker that dies mid-batch is recovered and its batch retried
+        without disturbing the other workers' in-flight batches.
         """
         out: Dict[str, Dict[str, Any]] = {}
         names = list(names)
@@ -381,19 +854,24 @@ class Fleet:
             for name in wave:
                 batches.setdefault(self.ensure_live(name), []).append(name)
             order = sorted(batches)
-            for worker in order:
-                self.hosts[worker].send({
+            pendings = {
+                worker: self._dispatch(worker, {
                     "op": "run_batch",
                     "items": [(name, cycles) for name in batches[worker]],
                 })
+                for worker in order
+            }
             for worker in order:
-                reply = self.hosts[worker].recv()
+                reply = self._collect(worker, pendings[worker])
                 if not reply.get("ok"):
                     raise ServiceError(
                         f"worker {worker}: {reply.get('error')}"
                     )
                 for row in reply["replies"]:
                     out[row["name"]] = row
+                    self._history[row["name"]].append(cycles)
+                for row in reply["replies"]:
+                    self._maybe_checkpoint(row["name"], row.get("status", ""))
         return out
 
     def result(self, name: str) -> Dict[str, Any]:
@@ -405,32 +883,45 @@ class Fleet:
         return self._call(worker, {"op": "meter", "name": name})["meter"]
 
     def suspend(self, name: str) -> str:
-        """Force-evict *name*; returns its envelope path."""
+        """Force-evict *name*; returns its (latest) envelope path."""
         if name in self._live:
             return self._evict(name)
-        path = self._spooled.get(name)
-        if path is None:
+        if name not in self._known:
             raise ServiceError(f"unknown session {name!r}")
-        return path
+        gens = self._gens.get(name)
+        if not gens:
+            raise ServiceError(f"session {name!r} has no spool generations")
+        return gens[-1][0]
 
     def close_session(self, name: str) -> None:
         if name in self._live:
-            worker = self._live.pop(name)
-            self._lru.pop(name)
+            worker = self._live[name]
             self._call(worker, {"op": "close", "name": name})
-        path = self._spooled.pop(name, None)
-        if path is not None and os.path.exists(path):
-            os.unlink(path)
+            self._live.pop(name, None)
+            self._lru.pop(name, None)
+        self._drop_spool(name)
+        self._known.discard(name)
+        self._opens.pop(name, None)
+        self._history.pop(name, None)
+        self._ckpt_index.pop(name, None)
         self._last_host.pop(name, None)
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        degraded = sorted(
+            index for index, host in enumerate(self.hosts)
+            if isinstance(host, InlineHost) and self._crash_counts.get(index)
+        )
+        info: Dict[str, Any] = {
             "workers": len(self.hosts),
             "capacity": self.capacity,
             "live": sorted(self._live),
-            "spooled": sorted(self._spooled),
+            "spooled": sorted(self._known - set(self._live)),
+            "degraded_workers": degraded,
             **self.counters,
         }
+        if self._chaos is not None:
+            info.update(self._chaos.stats())
+        return info
 
     def close(self) -> None:
         for host in self.hosts:

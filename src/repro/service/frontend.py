@@ -15,6 +15,14 @@ operations are serialized through one lock and pushed off the loop with
 (worker processes running a round's batches side by side), while the
 request stream stays totally ordered, which is what makes server runs
 reproducible: the same request sequence is the same simulation.
+
+Robustness contract (DESIGN.md 5.10): nothing a client sends may kill
+its connection loop, let alone the server.  Malformed JSON, non-object
+requests, unknown ops, missing fields, and lines longer than
+``max_line`` all earn a structured ``{"ok": false, "error": ...}``
+reply and the loop keeps reading; a fleet that has exhausted every
+recovery avenue (:class:`~repro.errors.OverloadError`) sheds load with
+a ``retry_after`` reply instead of dying.
 """
 
 from __future__ import annotations
@@ -23,15 +31,21 @@ import asyncio
 import json
 from typing import Any, Dict, Optional
 
-from ..errors import DoradoError
+from ..errors import DoradoError, OverloadError
 from .fleet import Fleet
+
+#: Default ceiling on one request line, in bytes.  Generous for every
+#: legitimate op (requests are names and numbers) while bounding what a
+#: confused or hostile client can make the server buffer.
+MAX_LINE = 1 << 20
 
 
 class Frontend:
     """The protocol brain: JSON requests in, JSON replies out."""
 
-    def __init__(self, fleet: Fleet) -> None:
+    def __init__(self, fleet: Fleet, *, max_line: int = MAX_LINE) -> None:
         self.fleet = fleet
+        self.max_line = max_line
         self._lock: Optional[asyncio.Lock] = None
         self._shutdown: Optional[asyncio.Event] = None
 
@@ -90,29 +104,67 @@ class Frontend:
                 self._shutdown.set()
                 return {"ok": True, "stopping": True}
             return {"ok": False, "error": f"unknown op {op!r}"}
+        except OverloadError as exc:
+            # Graceful degradation's last stop: the fleet could not
+            # recover this request, so shed the load and tell the client
+            # when to come back -- the connection (and server) survive.
+            return {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "retry_after": exc.retry_after,
+            }
         except (DoradoError, KeyError, TypeError, ValueError) as exc:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One line -> (request dict, None) or (None, error reply).
+
+        ``None, None`` means EOF.  An oversized line (the stream's
+        ``limit`` is ``max_line``) is consumed to its newline and
+        reported as a structured error, so one abusive request cannot
+        desynchronize -- or kill -- the connection loop.
+        """
+        try:
+            line = await reader.readline()
+        except asyncio.LimitOverrunError as exc:  # pragma: no cover
+            await reader.read(exc.consumed)
+            return None, {"ok": False,
+                          "error": f"line exceeds {self.max_line} bytes"}
+        except ValueError:
+            # StreamReader.readline signals a line longer than its limit
+            # with a bare ValueError after discarding the buffer; the
+            # tail of the oversized line (up to its newline) is consumed
+            # as garbage by the next reads and earns its own bad-request
+            # replies, which is fine -- the loop survives.
+            return None, {"ok": False,
+                          "error": f"line exceeds {self.max_line} bytes"}
+        if not line:
+            return None, None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return None, {"ok": False, "error": f"bad request: {exc}"}
+        return request, None
 
     async def client(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                request, error = await self._read_request(reader)
+                if request is None and error is None:
                     break
-                try:
-                    request = json.loads(line)
-                    if not isinstance(request, dict):
-                        raise ValueError("request must be a JSON object")
-                except ValueError as exc:
-                    reply = {"ok": False, "error": f"bad request: {exc}"}
-                else:
-                    reply = await self.handle(request)
+                reply = error if error is not None else (
+                    await self.handle(request)
+                )
                 writer.write(json.dumps(reply, sort_keys=True).encode())
                 writer.write(b"\n")
                 await writer.drain()
                 if self._shutdown.is_set():
                     break
+        except (ConnectionError, OSError):
+            pass  # client went away mid-reply; nothing to salvage
         finally:
             writer.close()
             try:
@@ -130,7 +182,9 @@ class Frontend:
         """
         self._lock = asyncio.Lock()
         self._shutdown = asyncio.Event()
-        server = await asyncio.start_server(self.client, host, port)
+        server = await asyncio.start_server(
+            self.client, host, port, limit=self.max_line
+        )
         if ready is not None:
             ready(server.sockets[0].getsockname()[:2])
         async with server:

@@ -118,6 +118,9 @@ def _run_fleet(
     checkpoint_interval: int,
     max_retries: int,
     spool_dir: Optional[str] = None,
+    chaos: Optional[Dict[str, Any]] = None,
+    checkpoint_every: int = 8,
+    max_respawns: int = 2,
 ) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, Any]]:
     """The same script through a fleet; returns (results, fleet stats)."""
     rounds = _slice_schedule(max_cycles, slice_cycles)
@@ -130,6 +133,9 @@ def _run_fleet(
         prewarm=prewarm,
         checkpoint_interval=checkpoint_interval,
         max_retries=max_retries,
+        chaos=chaos,
+        checkpoint_every=checkpoint_every,
+        max_respawns=max_respawns,
     ) as fleet:
         for entry in script:
             fleet.open_session(
@@ -169,11 +175,19 @@ def run_loadtest(
     max_retries: int = 4,
     serial: bool = False,
     spool_dir: Optional[str] = None,
+    chaos: Optional[Dict[str, Any]] = None,
+    checkpoint_every: int = 8,
+    max_respawns: int = 2,
 ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
     """Run the scripted stream; return (artifact, execution stats).
 
     The artifact is a pure function of the script parameters -- serial
     or fleet, 1 worker or 16, evictions or not, it is byte-identical.
+    ``chaos`` arms a seeded :class:`~repro.service.chaos.
+    ServiceFaultConfig` storm; recovery keeps it out of the artifact
+    (chaos parameters and counters live in the stats, which go to
+    stderr), so a chaos run still ``cmp``s clean against the serial
+    ground truth -- that comparison *is* the recovery proof.
     """
     script = build_script(sessions, seed=seed, fault_every=fault_every)
     if serial:
@@ -195,6 +209,9 @@ def run_loadtest(
             checkpoint_interval=checkpoint_interval,
             max_retries=max_retries,
             spool_dir=spool_dir,
+            chaos=chaos,
+            checkpoint_every=checkpoint_every,
+            max_respawns=max_respawns,
         )
         stats = {"mode": "fleet", **fleet_stats}
     artifact = {

@@ -388,10 +388,15 @@ class Session:
     @classmethod
     def resume(cls, envelope, *, name: Optional[str] = None) -> "Session":
         """Rebuild a session from a suspend envelope (text or parsed)."""
-        data = (
-            parse_canonical_json(envelope)
-            if isinstance(envelope, str) else envelope
-        )
+        if isinstance(envelope, str):
+            try:
+                data = parse_canonical_json(envelope)
+            except DoradoError as exc:
+                raise ServiceError(
+                    f"suspend envelope is not parseable: {exc}"
+                ) from exc
+        else:
+            data = envelope
         if not isinstance(data, dict):
             raise ServiceError("suspend envelope is not a JSON object")
         version = data.get("service_version")
@@ -418,6 +423,10 @@ class Session:
             session._meter_base = data["meter_base"]
         except KeyError as exc:
             raise ServiceError(f"suspend envelope lacks {exc}") from exc
+        except ServiceError:
+            raise
+        except (DoradoError, TypeError, ValueError) as exc:
+            raise ServiceError(f"suspend envelope rejected: {exc}") from exc
         return session
 
     @classmethod

@@ -422,3 +422,128 @@ def test_service_cli_loadtest_and_bench_smoke(tmp_path, capsys):
     artifact = parse_canonical_json(out_fleet.read_text())
     assert len(artifact["results"]) == 4
     capsys.readouterr()
+
+
+# --------------------------------------------------------------------------
+# robustness satellites (DESIGN.md 5.10): crash detection, request
+# idempotence, and a front end nothing a client sends can kill
+# --------------------------------------------------------------------------
+
+def test_process_host_reports_crash_with_context():
+    """A dead child surfaces as WorkerCrashed, not an eternal hang.
+
+    The exception carries the worker slot, the in-flight op, and the
+    session names it addressed -- everything the fleet's recovery path
+    needs without a live process to ask.
+    """
+    import multiprocessing
+
+    from repro.errors import CallTimeout, WorkerCrashed
+    from repro.service import ProcessHost
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("needs a forking platform")
+    ctx = multiprocessing.get_context("fork")
+
+    host = ProcessHost(ctx, index=3)
+    try:
+        assert host.call({"op": "open", "name": "s1",
+                          "workload": "mesa_loop_sum"})["ok"]
+        host.kill()
+        with pytest.raises(WorkerCrashed) as info:
+            host.call({"op": "run", "name": "s1", "cycles": 100})
+        assert info.value.worker == 3
+        assert info.value.op == "run"
+        assert info.value.sessions == ("s1",)
+    finally:
+        host.reap()
+
+    # A live-but-silent worker is a timeout, not a hang.
+    quiet = ProcessHost(ctx, index=0)
+    try:
+        quiet.last_request = {"op": "run", "name": "ghost"}
+        with pytest.raises(CallTimeout, match="no reply"):
+            quiet.recv(timeout=0.2)
+    finally:
+        quiet.close()
+
+
+def test_host_request_dedup_and_checkpoint():
+    """Duplicate req ids replay the cached reply; checkpoint is a
+    non-destructive suspend."""
+    host = SessionHost()
+    host.handle({"op": "open", "name": "s1", "workload": "mesa_loop_sum",
+                 "req": 1})
+    first = host.handle({"op": "run", "name": "s1", "cycles": 300, "req": 2})
+    assert first["ok"] and first["cycles"] == 300 and first["req"] == 2
+    replayed = host.handle({"op": "run", "name": "s1", "cycles": 300,
+                            "req": 2})
+    assert replayed == first  # cached: the slice was NOT granted twice
+    second = host.handle({"op": "run", "name": "s1", "cycles": 300, "req": 3})
+    assert second["cycles"] == 600
+
+    snapshot = host.handle({"op": "checkpoint", "name": "s1", "req": 4})
+    assert snapshot["ok"] and "s1" in host.sessions  # still live
+    twin = Session.resume(snapshot["envelope"])
+    assert twin.cpu.counters.cycles == 600
+
+    # Messages without a req id keep the legacy fire-and-forget shape.
+    bare = host.handle({"op": "stats"})
+    assert bare["sessions"] == ["s1"] and "req" not in bare
+
+
+def test_frontend_survives_hostile_lines(tmp_path):
+    """Malformed JSON, non-objects, unknown ops, and oversized lines all
+    earn structured error replies -- and the connection loop survives."""
+    async def scenario():
+        fleet = Fleet(workers=1, capacity=2, spool_dir=str(tmp_path))
+        frontend = Frontend(fleet, max_line=512)
+        bound = asyncio.get_running_loop().create_future()
+        server = asyncio.create_task(
+            frontend.serve("127.0.0.1", 0, ready=bound.set_result)
+        )
+        host, port = await bound
+        reader, writer = await asyncio.open_connection(host, port)
+
+        async def send_line(raw):
+            writer.write(raw + b"\n")
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        try:
+            bad = await send_line(b"this is not json")
+            assert not bad["ok"] and "bad request" in bad["error"]
+            array = await send_line(b"[1, 2, 3]")
+            assert not array["ok"] and "JSON object" in array["error"]
+            unknown = await send_line(json.dumps({"op": "warp"}).encode())
+            assert not unknown["ok"] and "unknown op" in unknown["error"]
+            missing = await send_line(json.dumps({"op": "run"}).encode())
+            assert not missing["ok"] and "KeyError" in missing["error"]
+
+            # An oversized line: the reply stream may interleave extra
+            # bad-request replies for the discarded tail, but the loop
+            # survives and a well-formed ping still gets its pong.
+            writer.write(b'{"op": "ping", "pad": "' + b"x" * 2048 + b'"}\n')
+            await writer.drain()
+            oversize = json.loads(await reader.readline())
+            assert not oversize["ok"] and "exceeds" in oversize["error"]
+            writer.write(json.dumps({"op": "ping"}).encode() + b"\n")
+            await writer.drain()
+            while True:
+                reply = json.loads(await reader.readline())
+                if reply.get("pong"):
+                    break  # the loop outlived every hostile line
+            assert (await send_line(
+                json.dumps({"op": "shutdown"}).encode()
+            ))["stopping"]
+        finally:
+            writer.close()
+            if not server.done():
+                server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            fleet.close()
+
+    asyncio.run(scenario())
